@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs a deterministic simulation, so a single round gives
+exact, reproducible numbers — ``run_once`` wraps ``benchmark.pedantic``
+accordingly.  Set ``REPRO_FULL=1`` to sweep the paper's complete message
+size axis instead of the quick subset.
+"""
+
+import os
+
+import pytest
+
+
+def full_sweep() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,14 @@
+"""Legacy setup shim: enables `pip install -e .` on offline hosts without the
+`wheel` package (pip falls back to `setup.py develop` when no build-system
+table is declared in pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

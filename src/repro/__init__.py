@@ -1,0 +1,23 @@
+"""repro — reproduction of Goglin's decoupled/overlapped memory pinning paper.
+
+The package simulates the complete Open-MX message-passing stack over
+generic Ethernet, including the Linux-kernel facilities the paper relies on
+(page pinning, MMU notifiers, interrupt-driven receive processing), and
+reproduces every table and figure of the paper's evaluation.
+
+Layering, bottom to top:
+
+``repro.sim``       discrete-event engine (events, processes, resources)
+``repro.hw``        hosts, CPU cores, physical memory, NICs, I/OAT engines
+``repro.kernel``    address spaces, paging, pinning, MMU notifiers, IRQs
+``repro.openmx``    the paper's contribution: MXoE protocol + pinning models
+``repro.baselines`` related-work comparison points (user-space cache, pipeline)
+``repro.mpi``       MPI-like layer (p2p + IMB collectives) over Open-MX
+``repro.cluster``   cluster construction and the Ethernet fabric
+``repro.workloads`` IMB and NPB-IS workload drivers
+``repro.experiments`` one module per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Related-work baselines the paper compares against (Section 5)."""
+
+from .pipelined_reg import PipelinedSender, PipelineResult
+from .registration_models import (
+    REGISTRATION_MODELS,
+    RegistrationCost,
+    RegistrationModel,
+    registration_cycle,
+)
+from .tcp import TcpSegment, TcpSocket, TcpStack
+from .userspace_cache import HookedAllocator, UserspaceRegistrationCache
+
+__all__ = [
+    "HookedAllocator",
+    "REGISTRATION_MODELS",
+    "RegistrationCost",
+    "RegistrationModel",
+    "TcpSegment",
+    "TcpSocket",
+    "TcpStack",
+    "registration_cycle",
+    "PipelineResult",
+    "PipelinedSender",
+    "UserspaceRegistrationCache",
+]

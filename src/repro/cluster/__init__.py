@@ -1,0 +1,6 @@
+"""Cluster construction: hosts wired to an Ethernet fabric."""
+
+from .builder import Cluster, Node, build_cluster
+from .network import Fabric
+
+__all__ = ["Cluster", "Fabric", "Node", "build_cluster"]

@@ -1,0 +1,97 @@
+"""Cluster assembly: N hosts, each with a kernel, an Open-MX driver, and a
+set of application processes, all wired to one Ethernet fabric.
+
+This is the testbed constructor every experiment and example uses.  The
+default shape mirrors the paper's: two Xeon E5460 nodes with Myri-10G
+Ethernet interfaces (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.host import Host
+from repro.hw.specs import DEFAULT_IOAT, MYRI_10G, XEON_E5460, CpuSpec, IoatSpec, NicSpec
+from repro.kernel.kernel import Kernel, UserProcess
+from repro.openmx.config import OpenMXConfig
+from repro.openmx.driver import OpenMXDriver
+from repro.openmx.lib import OmxLib
+from repro.sim import Environment, Tracer
+from repro.util.units import GIB
+
+__all__ = ["Cluster", "Node", "build_cluster"]
+
+
+@dataclass
+class Node:
+    """One host plus its kernel, driver and processes."""
+
+    host: Host
+    kernel: Kernel
+    driver: OpenMXDriver
+    procs: list[UserProcess] = field(default_factory=list)
+    libs: list[OmxLib] = field(default_factory=list)
+
+
+@dataclass
+class Cluster:
+    env: Environment
+    fabric: object
+    nodes: list[Node]
+    config: OpenMXConfig
+    tracer: Tracer
+
+    def lib(self, node: int, proc: int = 0) -> OmxLib:
+        return self.nodes[node].libs[proc]
+
+    def all_libs(self) -> list[OmxLib]:
+        return [lib for node in self.nodes for lib in node.libs]
+
+
+def build_cluster(
+    nhosts: int = 2,
+    procs_per_host: int = 1,
+    cpu: CpuSpec = XEON_E5460,
+    nic: NicSpec = MYRI_10G,
+    ioat: IoatSpec | None = DEFAULT_IOAT,
+    config: OpenMXConfig | None = None,
+    memory_bytes: int = 2 * GIB,
+    fabric_latency_ns: int = 4_000,
+    trace: bool = False,
+    bh_core_index: int = 0,
+    first_app_core: int | None = None,
+) -> Cluster:
+    """Build a ready-to-run cluster.
+
+    Application processes are placed on cores ``first_app_core``,
+    ``first_app_core+1``, ... (default: core 1, keeping core 0 free for
+    interrupt bottom halves, the usual IRQ-affinity setup).  Endpoint ids
+    equal the process index on each host.
+    """
+    from repro.cluster.network import Fabric
+
+    if config is None:
+        config = OpenMXConfig()
+    if first_app_core is None:
+        first_app_core = 1 if cpu.ncores > 1 else 0
+    if first_app_core + procs_per_host > cpu.ncores and procs_per_host > 1:
+        first_app_core = 0  # fall back to sharing all cores
+    env = Environment()
+    tracer = Tracer(enabled=trace)
+    fabric = Fabric(env, latency_ns=fabric_latency_ns)
+    nodes: list[Node] = []
+    for h in range(nhosts):
+        host = Host(env, f"host{h}", cpu, nic_spec=nic,
+                    memory_bytes=memory_bytes, ioat_spec=ioat)
+        kernel = Kernel(host, bh_core_index=bh_core_index)
+        fabric.attach(host.nic)
+        driver = OpenMXDriver(kernel, config, tracer=tracer)
+        node = Node(host=host, kernel=kernel, driver=driver)
+        for p in range(procs_per_host):
+            core = (first_app_core + p) % cpu.ncores
+            proc = kernel.new_process(f"rank{p}", core_index=core)
+            node.procs.append(proc)
+            node.libs.append(OmxLib(proc, driver, endpoint_id=p))
+        nodes.append(node)
+    return Cluster(env=env, fabric=fabric, nodes=nodes, config=config,
+                   tracer=tracer)

@@ -1,0 +1,66 @@
+"""The Ethernet fabric connecting NICs.
+
+A :class:`Fabric` is a full-duplex switch: every attached NIC can reach every
+other by address.  Each direction of each port pair has an independent
+propagation+switching latency, and an optional deterministic drop rule for
+loss-injection tests (the MXoE protocol must survive drops — they are its
+overlap-miss recovery mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hw.nic import EthernetFrame, Nic
+from repro.sim import Environment
+
+__all__ = ["Fabric"]
+
+
+class _Port:
+    """Link-side endpoint bound to one NIC."""
+
+    def __init__(self, fabric: "Fabric", nic: Nic):
+        self.fabric = fabric
+        self.nic = nic
+
+    def carry(self, frame: EthernetFrame) -> None:
+        self.fabric._carry(self.nic, frame)
+
+
+class Fabric:
+    """A cut-through switch with per-hop latency and injectable loss."""
+
+    def __init__(self, env: Environment, latency_ns: int = 1_000):
+        self.env = env
+        self.latency_ns = latency_ns
+        self._nics: dict[str, Nic] = {}
+        # Optional drop rule: called per frame, True means drop.
+        self.drop_rule: Callable[[EthernetFrame], bool] | None = None
+        self.frames_carried = 0
+        self.frames_dropped = 0
+
+    def attach(self, nic: Nic) -> None:
+        if nic.address in self._nics:
+            raise ValueError(f"duplicate NIC address {nic.address}")
+        self._nics[nic.address] = nic
+        nic.attach_link(_Port(self, nic))
+
+    def _carry(self, src_nic: Nic, frame: EthernetFrame) -> None:
+        if self.drop_rule is not None and self.drop_rule(frame):
+            self.frames_dropped += 1
+            return
+        dst = self._nics.get(frame.dst)
+        if dst is None:
+            self.frames_dropped += 1
+            return
+        self.frames_carried += 1
+
+        def deliver():
+            yield self.env.timeout(self.latency_ns)
+            dst.deliver(frame)
+
+        self.env.process(deliver(), name="fabric.deliver")
+
+    def addresses(self) -> list[str]:
+        return list(self._nics)

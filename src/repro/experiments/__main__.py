@@ -1,0 +1,113 @@
+"""Regenerate every table and figure of the paper from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # quick sweep (a few minutes)
+    python -m repro.experiments --full          # the paper's full size axis
+    python -m repro.experiments table1          # one artifact only
+    python -m repro.experiments --json out.json # also save machine-readable results
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.ablations import (
+    run_cache_capacity_ablation,
+    run_overlap_check_ablation,
+    run_pipeline_ablation,
+)
+from repro.experiments.figures67 import (
+    FAST_SIZES,
+    FIGURE_SIZES,
+    format_series_table,
+    run_figure6,
+    run_figure7,
+)
+from repro.experiments.motivation import format_motivation, run_motivation
+from repro.experiments.overlap_miss import (
+    run_miss_probability,
+    run_overloaded_core,
+)
+from repro.experiments.reuse_sweep import format_reuse_sweep, run_reuse_sweep
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def main(argv: list[str]) -> int:
+    full = "--full" in argv
+    json_path = None
+    if "--json" in argv:
+        idx = argv.index("--json")
+        if idx + 1 >= len(argv):
+            print("error: --json requires a path", file=sys.stderr)
+            return 2
+        json_path = argv[idx + 1]
+        argv = argv[:idx] + argv[idx + 2:]
+    collected: dict[str, object] = {}
+    wanted = {a for a in argv if not a.startswith("-")} or {
+        "table1", "figure6", "figure7", "table2", "overlap-miss", "ablations",
+        "reuse-sweep", "motivation"
+    }
+    sizes = FIGURE_SIZES if full else FAST_SIZES
+
+    if "table1" in wanted:
+        collected["table1"] = run_table1()
+        print(format_table1(collected["table1"]))
+        print()
+    if "figure6" in wanted:
+        collected["figure6"] = run_figure6(sizes)
+        print(format_series_table(collected["figure6"],
+                                  "Figure 6: IMB PingPong (MiB/s)"))
+        print()
+    if "figure7" in wanted:
+        collected["figure7"] = run_figure7(sizes)
+        print(format_series_table(collected["figure7"],
+                                  "Figure 7: IMB PingPong (MiB/s)"))
+        print()
+    if "table2" in wanted:
+        collected["table2"] = run_table2()
+        print(format_table2(collected["table2"]))
+        print()
+    if "overlap-miss" in wanted:
+        miss = run_miss_probability()
+        collected["miss_probability"] = miss
+        print("Section 4.3: overlap-miss probability under regular load")
+        print(f"  {miss.overlap_misses} misses / {miss.data_packets} data "
+              f"packets (rate {miss.miss_rate:.2e}; paper < 1e-4)")
+        over = run_overloaded_core()
+        collected["overloaded_core"] = over
+        print("Section 4.3: overloaded interrupt core")
+        print(f"  normal {over.normal_mib_s:.0f} MiB/s -> overloaded "
+              f"{over.overloaded_mib_s:.1f} MiB/s (x{over.slowdown:.0f}; "
+              f"paper ~x20), {over.overlap_misses} overlap misses, BH core "
+              f"{over.bh_core_utilization:.0%} busy")
+        print()
+    if "motivation" in wanted:
+        collected["motivation"] = run_motivation()
+        print(format_motivation(collected["motivation"]))
+        print()
+    if "reuse-sweep" in wanted:
+        collected["reuse_sweep"] = run_reuse_sweep()
+        print(format_reuse_sweep(collected["reuse_sweep"]))
+        print()
+    if "ablations" in wanted:
+        print("Ablation: pipelined registration vs driver-level overlap")
+        for p in run_pipeline_ablation():
+            print(f"  {p.label:32s} {p.value:8.1f} MiB/s")
+        print("Ablation: region cache capacity vs hit rate (16 buffers cycled)")
+        for p in run_cache_capacity_ablation():
+            print(f"  {p.label:32s} {p.value:8.2f}")
+        print("Ablation: per-packet overlap descriptor-check cost")
+        for p in run_overlap_check_ablation():
+            print(f"  {p.label:32s} {p.value:8.1f} MiB/s")
+    if json_path is not None:
+        from repro.experiments.runner import save_results
+
+        save_results(json_path, collected)
+        print(f"(results saved to {json_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

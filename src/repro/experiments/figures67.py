@@ -1,0 +1,114 @@
+"""Figures 6 and 7 — IMB PingPong throughput vs message size.
+
+Figure 6 compares *pin once per communication* against *permanent pinning*,
+with and without I/OAT copy offload — quantifying how much memory pinning
+costs on the fast Xeon E5460 testbed (~5 % there, up to ~20 % on the slow
+Opteron 265, which :func:`run_figure6` can also reproduce by passing its
+CPU spec).
+
+Figure 7 compares the paper's optimizations on the same axis: regular
+pinning vs overlapped pinning vs the pinning cache vs both combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import build_cluster
+from repro.hw.specs import CpuSpec, XEON_E5460
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.workloads import imb_pingpong
+from repro.util.units import KIB, MIB, fmt_size
+
+__all__ = [
+    "FIGURE_SIZES",
+    "PingpongSeries",
+    "run_figure6",
+    "run_figure7",
+    "run_pingpong_series",
+]
+
+# The x-axis of figures 6 and 7: 64 kB .. 16 MB.
+FIGURE_SIZES = [64 * KIB, 128 * KIB, 256 * KIB, 512 * KIB,
+                1 * MIB, 2 * MIB, 4 * MIB, 8 * MIB, 16 * MIB]
+FAST_SIZES = [64 * KIB, 256 * KIB, 1 * MIB, 4 * MIB, 16 * MIB]
+
+
+@dataclass(frozen=True)
+class PingpongSeries:
+    """One curve: (size, MiB/s) points."""
+
+    label: str
+    points: tuple[tuple[int, float], ...]
+
+    def throughput_at(self, nbytes: int) -> float:
+        for size, mib_s in self.points:
+            if size == nbytes:
+                return mib_s
+        raise KeyError(f"no point at {nbytes}")
+
+
+def _iters_for(nbytes: int) -> int:
+    if nbytes <= 256 * KIB:
+        return 4
+    if nbytes <= MIB:
+        return 3
+    return 2
+
+
+def run_pingpong_series(label: str, mode: PinningMode, use_ioat: bool,
+                        sizes: list[int], cpu: CpuSpec = XEON_E5460) -> PingpongSeries:
+    """Measure one curve.  Each point builds a fresh cluster so modes never
+    contaminate each other."""
+    points = []
+    for nbytes in sizes:
+        cluster = build_cluster(
+            cpu=cpu,
+            config=OpenMXConfig(pinning_mode=mode, use_ioat=use_ioat),
+        )
+        result = imb_pingpong(cluster, nbytes, iterations=_iters_for(nbytes))
+        points.append((nbytes, result.throughput_mib_s))
+    return PingpongSeries(label, tuple(points))
+
+
+def run_figure6(sizes: list[int] | None = None,
+                cpu: CpuSpec = XEON_E5460) -> list[PingpongSeries]:
+    """Figure 6: pin-once-per-communication vs permanent pinning, ±I/OAT."""
+    sizes = sizes if sizes is not None else FIGURE_SIZES
+    return [
+        run_pingpong_series("Open-MX - Pin once per Communication",
+                            PinningMode.PIN_PER_COMM, False, sizes, cpu),
+        run_pingpong_series("Open-MX - Permanent Pinning",
+                            PinningMode.PERMANENT, False, sizes, cpu),
+        run_pingpong_series("Open-MX + I/OAT - Pin once per Communication",
+                            PinningMode.PIN_PER_COMM, True, sizes, cpu),
+        run_pingpong_series("Open-MX + I/OAT - Permanent-Pinning",
+                            PinningMode.PERMANENT, True, sizes, cpu),
+    ]
+
+
+def run_figure7(sizes: list[int] | None = None,
+                cpu: CpuSpec = XEON_E5460) -> list[PingpongSeries]:
+    """Figure 7: regular vs overlapped vs cache vs overlapped+cache."""
+    sizes = sizes if sizes is not None else FIGURE_SIZES
+    return [
+        run_pingpong_series("Open-MX - Regular Pinning",
+                            PinningMode.PIN_PER_COMM, False, sizes, cpu),
+        run_pingpong_series("Open-MX - Overlapped Pinning",
+                            PinningMode.OVERLAP, False, sizes, cpu),
+        run_pingpong_series("Open-MX - Pinning Cache",
+                            PinningMode.CACHE, False, sizes, cpu),
+        run_pingpong_series("Open-MX - Overlapped Pinning Cache",
+                            PinningMode.OVERLAP_CACHE, False, sizes, cpu),
+    ]
+
+
+def format_series_table(series: list[PingpongSeries], title: str) -> str:
+    from repro.experiments.report import format_table
+
+    sizes = [s for s, _ in series[0].points]
+    headers = ["Message size"] + [s.label for s in series]
+    rows = []
+    for i, size in enumerate(sizes):
+        rows.append([fmt_size(size)] + [f"{s.points[i][1]:.0f}" for s in series])
+    return format_table(headers, rows, title=title)

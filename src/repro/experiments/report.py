@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment results (tables and line charts).
+
+Every experiment prints through these helpers so benchmark output looks the
+same everywhere and EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["ascii_chart", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("%").replace("+", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def ascii_chart(series: dict[str, list[tuple[str, float]]], height: int = 12,
+                title: str | None = None, ylabel: str = "") -> str:
+    """A rough terminal line chart: one column per x point, one glyph per
+    series.  Good enough to eyeball the Figure 6/7 curve shapes."""
+    if not series:
+        return "(no data)"
+    glyphs = "ox+*#@%&"
+    first = next(iter(series.values()))
+    xlabels = [x for x, _ in first]
+    all_vals = [v for pts in series.values() for _, v in pts]
+    lo, hi = min(all_vals), max(all_vals)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * len(xlabels) for _ in range(height)]
+    for si, (name, pts) in enumerate(series.items()):
+        g = glyphs[si % len(glyphs)]
+        for xi, (_, v) in enumerate(pts):
+            row = height - 1 - int((v - lo) / span * (height - 1))
+            grid[row][xi] = g
+    lines = []
+    if title:
+        lines.append(title)
+    for ri, row in enumerate(grid):
+        yval = hi - span * ri / (height - 1)
+        lines.append(f"{yval:9.0f} | " + "  ".join(row))
+    lines.append(" " * 9 + " +-" + "-" * (3 * len(xlabels)))
+    lines.append(" " * 12 + "  ".join(x[0] for x in xlabels) + "   (x: " +
+                 ", ".join(xlabels) + ")")
+    for si, name in enumerate(series):
+        lines.append(f"   {glyphs[si % len(glyphs)]} = {name}")
+    if ylabel:
+        lines.append(f"   y: {ylabel}")
+    return "\n".join(lines)

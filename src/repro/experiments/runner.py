@@ -1,0 +1,86 @@
+"""Experiment result persistence and comparison.
+
+Experiments return frozen dataclasses; this module serializes any of them
+to JSON (``save_results``/``load_results``) and diffs two result sets
+(``compare_results``) so regressions in the reproduced shapes are easy to
+spot across code changes.  The CLI's ``--json PATH`` flag uses it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["compare_results", "load_results", "save_results", "to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses/containers to JSON-ready values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            out[field.name] = to_jsonable(getattr(obj, field.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, bytes):
+        return obj.hex()
+    # Enums and anything else stringify.
+    value = getattr(obj, "value", None)
+    return value if isinstance(value, (str, int, float)) else str(obj)
+
+
+def save_results(path: str | Path, results: dict[str, Any]) -> None:
+    """Write a named collection of experiment results as JSON."""
+    payload = {name: to_jsonable(r) for name, r in results.items()}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results(path: str | Path) -> dict[str, Any]:
+    """Load results saved by :func:`save_results` (plain dicts/lists)."""
+    return json.loads(Path(path).read_text())
+
+
+def _numeric_leaves(obj: Any, prefix: str = "") -> dict[str, float]:
+    leaves: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            if k == "__type__":
+                continue
+            leaves.update(_numeric_leaves(v, f"{prefix}.{k}" if prefix else k))
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            leaves.update(_numeric_leaves(v, f"{prefix}[{i}]"))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        leaves[prefix] = float(obj)
+    return leaves
+
+
+def compare_results(old: dict[str, Any], new: dict[str, Any],
+                    rel_tolerance: float = 0.02) -> list[str]:
+    """Report numeric leaves that moved by more than ``rel_tolerance``.
+
+    Returns human-readable difference lines (empty = results match).
+    """
+    diffs: list[str] = []
+    old_leaves = _numeric_leaves(old)
+    new_leaves = _numeric_leaves(new)
+    for key in sorted(set(old_leaves) | set(new_leaves)):
+        if key not in old_leaves:
+            diffs.append(f"+ {key} = {new_leaves[key]:g} (new)")
+        elif key not in new_leaves:
+            diffs.append(f"- {key} = {old_leaves[key]:g} (removed)")
+        else:
+            a, b = old_leaves[key], new_leaves[key]
+            scale = max(abs(a), abs(b), 1e-12)
+            if abs(a - b) / scale > rel_tolerance:
+                diffs.append(f"~ {key}: {a:g} -> {b:g}")
+    return diffs

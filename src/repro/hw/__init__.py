@@ -1,0 +1,46 @@
+"""Hardware models: CPUs, memory, NICs, DMA engines, hosts."""
+
+from .cpu import PRIO_BH, PRIO_KERNEL, PRIO_USER, CpuCore
+from .host import Host
+from .ioat import IoatEngine
+from .memory import PAGE_SIZE, Frame, OutOfMemory, PhysicalMemory
+from .nic import EthernetFrame, Nic
+from .specs import (
+    CPU_CATALOGUE,
+    DEFAULT_IOAT,
+    MYRI_10G,
+    OPTERON_265,
+    OPTERON_8347,
+    XEON_E5435,
+    XEON_E5460,
+    CpuSpec,
+    IoatSpec,
+    NicSpec,
+    slower_nic,
+)
+
+__all__ = [
+    "CPU_CATALOGUE",
+    "CpuCore",
+    "CpuSpec",
+    "DEFAULT_IOAT",
+    "EthernetFrame",
+    "Frame",
+    "Host",
+    "IoatEngine",
+    "IoatSpec",
+    "MYRI_10G",
+    "Nic",
+    "NicSpec",
+    "OPTERON_265",
+    "OPTERON_8347",
+    "OutOfMemory",
+    "PAGE_SIZE",
+    "PRIO_BH",
+    "PRIO_KERNEL",
+    "PRIO_USER",
+    "PhysicalMemory",
+    "XEON_E5435",
+    "XEON_E5460",
+    "slower_nic",
+]

@@ -1,0 +1,45 @@
+"""A host: cores + physical memory + NIC + optional I/OAT engine.
+
+The host is pure hardware; the OS layer (``repro.kernel.Kernel``) attaches
+itself on construction and owns address spaces, interrupts and pinning.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cpu import CpuCore
+from repro.hw.ioat import IoatEngine
+from repro.hw.memory import PhysicalMemory
+from repro.hw.nic import Nic
+from repro.hw.specs import DEFAULT_IOAT, MYRI_10G, CpuSpec, IoatSpec, NicSpec
+from repro.sim import Environment
+from repro.util.units import GIB
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One cluster node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cpu: CpuSpec,
+        nic_spec: NicSpec = MYRI_10G,
+        memory_bytes: int = 8 * GIB,
+        ioat_spec: IoatSpec | None = DEFAULT_IOAT,
+    ):
+        self.env = env
+        self.name = name
+        self.cpu_spec = cpu
+        self.cores = [CpuCore(env, cpu, name, i) for i in range(cpu.ncores)]
+        self.memory = PhysicalMemory(memory_bytes)
+        self.nic = Nic(env, nic_spec, f"{name}/nic0")
+        self.ioat = IoatEngine(env, ioat_spec, name) if ioat_spec else None
+        self.kernel = None  # set by repro.kernel.Kernel.__init__
+
+    def core(self, index: int) -> CpuCore:
+        return self.cores[index]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name} {self.cpu_spec.name} x{len(self.cores)}>"

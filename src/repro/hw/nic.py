@@ -1,0 +1,122 @@
+"""Ethernet NIC model.
+
+The NIC serializes frames onto the wire at link rate (one frame at a time,
+full duplex: TX and RX are independent), and deposits received frames into a
+bounded RX ring.  Receiving raises an interrupt via a callback installed by
+the kernel; frames arriving while the ring is full are dropped (tail drop),
+which exercises the retransmission machinery of the protocol above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.hw.specs import NicSpec
+from repro.sim import Environment, Resource, Store
+from repro.util.units import transfer_time_ns
+
+__all__ = ["EthernetFrame", "Nic"]
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """A frame on the wire; ``payload`` is an opaque upper-layer packet."""
+
+    src: str
+    dst: str
+    ethertype: int
+    payload: Any
+    payload_bytes: int
+    seq: int = field(default=0)
+
+    def wire_bytes(self, overhead: int) -> int:
+        return self.payload_bytes + overhead
+
+
+class Nic:
+    """One Ethernet port: TX serialization, RX ring, interrupt callback."""
+
+    def __init__(self, env: Environment, spec: NicSpec, name: str):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.address = name  # flat addressing: the NIC name is its MAC
+        self._tx = Resource(env, capacity=1, name=f"{name}/tx")
+        self.rx_ring: Store = Store(env, name=f"{name}/rxring")
+        self._rx_ring_used = 0
+        self._link: "LinkPort | None" = None
+        self._on_rx: Callable[[], None] | None = None
+        self._txseq = 0
+        # Statistics.
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.rx_ring_drops = 0
+
+    # -- wiring ------------------------------------------------------------
+    def attach_link(self, link: "LinkPort") -> None:
+        if self._link is not None:
+            raise RuntimeError(f"{self.name} already attached to a link")
+        self._link = link
+
+    def set_rx_callback(self, callback: Callable[[], None]) -> None:
+        """Install the kernel's interrupt-raise hook (one consumer only)."""
+        self._on_rx = callback
+
+    # -- transmit ----------------------------------------------------------
+    def transmit(self, frame: EthernetFrame):
+        """Process: serialize one frame onto the wire (hold TX at line rate)."""
+        if self._link is None:
+            raise RuntimeError(f"{self.name} is not connected")
+        if frame.payload_bytes > self.spec.mtu:
+            raise ValueError(
+                f"frame payload {frame.payload_bytes} exceeds MTU {self.spec.mtu}"
+            )
+        with self._tx.request() as req:
+            yield req
+            wire = frame.wire_bytes(self.spec.frame_overhead_bytes)
+            yield self.env.timeout(
+                transfer_time_ns(wire, self.spec.link_bytes_per_sec)
+            )
+        self.tx_frames += 1
+        self.tx_bytes += frame.payload_bytes
+        self._link.carry(frame)
+
+    def send(self, frame: EthernetFrame):
+        """Fire-and-forget transmit (spawns the TX process)."""
+        self._txseq += 1
+        return self.env.process(self.transmit(frame), name=f"{self.name}.tx")
+
+    # -- receive -----------------------------------------------------------
+    def deliver(self, frame: EthernetFrame) -> None:
+        """Called by the link when a frame reaches this port."""
+        if self._rx_ring_used >= self.spec.rx_ring_entries:
+            self.rx_ring_drops += 1
+            return
+        self._rx_ring_used += 1
+        self.rx_frames += 1
+        self.rx_bytes += frame.payload_bytes
+        self.rx_ring.put(frame)
+        if self._on_rx is not None:
+            self._on_rx()
+
+    def ring_pop(self) -> EthernetFrame | None:
+        """Drain one frame from the RX ring (used by the bottom half)."""
+        ok, frame = self.rx_ring.try_get()
+        if ok:
+            self._rx_ring_used -= 1
+            return frame
+        return None
+
+    def ring_pop_peek_empty(self) -> bool:
+        """True if the RX ring is currently empty (NAPI budget check)."""
+        return self._rx_ring_used == 0
+
+
+class LinkPort:
+    """The link-side interface a NIC talks to (implemented in repro.cluster)."""
+
+    def carry(self, frame: EthernetFrame) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,34 @@
+"""Simulated operating-system layer: VM, pinning, MMU notifiers, IRQs."""
+
+from .address_space import AddressSpace, BadAddress, Vma, page_align, page_count
+from .allocator import Allocation, AllocationError, Malloc
+from .context import AcquiringContext, ExecContext, HeldContext
+from .ethernet import ETH_P_OMX, EthernetLayer
+from .interrupts import SoftirqEngine
+from .kernel import Kernel, UserProcess
+from .mmu_notifier import CallbackNotifier, MMUNotifierChain
+from .pinning import PIN_FRACTION, PinError, PinService
+
+__all__ = [
+    "AcquiringContext",
+    "AddressSpace",
+    "Allocation",
+    "AllocationError",
+    "BadAddress",
+    "CallbackNotifier",
+    "ETH_P_OMX",
+    "EthernetLayer",
+    "ExecContext",
+    "HeldContext",
+    "Kernel",
+    "Malloc",
+    "MMUNotifierChain",
+    "PIN_FRACTION",
+    "PinError",
+    "PinService",
+    "SoftirqEngine",
+    "UserProcess",
+    "Vma",
+    "page_align",
+    "page_count",
+]

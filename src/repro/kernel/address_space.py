@@ -1,0 +1,294 @@
+"""Process address spaces: VMAs, page tables, faults, COW, swap, migration.
+
+This is the virtual-memory substrate the paper's pinning machinery sits on.
+The model is page-granular and keeps real bytes in the physical frames so
+that correctness bugs (stale translations after free/COW/migration) corrupt
+data visibly instead of passing silently.
+
+Semantics mirror Linux where it matters to the paper:
+
+* pages are faulted in lazily on first access (or by ``get_user_pages``),
+* ``munmap`` fires MMU notifiers *before* tearing mappings down; frames that
+  are still pinned at teardown survive as *orphans* (the pinner holds a
+  reference, like ``get_user_pages`` does) and only return to the free pool
+  at final unpin — this is exactly the mechanism that makes notifier-less
+  user-space registration caches unsafe,
+* copy-on-write duplication, swap-out and migration also fire notifiers and
+  refuse to touch pinned frames (pinning exists to prevent precisely that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.memory import PAGE_SIZE, Frame, PhysicalMemory
+from repro.kernel.mmu_notifier import MMUNotifierChain
+
+__all__ = ["AddressSpace", "BadAddress", "Vma", "PAGE_SIZE", "page_count", "page_align"]
+
+
+class BadAddress(Exception):
+    """Access or operation on an unmapped virtual address."""
+
+
+def page_align(addr: int) -> int:
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_count(addr: int, length: int) -> int:
+    """Number of pages spanned by [addr, addr+length)."""
+    if length <= 0:
+        return 0
+    first = addr // PAGE_SIZE
+    last = (addr + length - 1) // PAGE_SIZE
+    return last - first + 1
+
+
+@dataclass
+class Vma:
+    """One virtual memory area: [start, end), page aligned."""
+
+    start: int
+    end: int
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class AddressSpace:
+    """One process's virtual address space."""
+
+    # Userspace mmap area starts well away from zero so that address
+    # arithmetic bugs fault instead of aliasing page 0.
+    MMAP_BASE = 0x7000_0000_0000
+
+    def __init__(self, memory: PhysicalMemory, name: str = "proc"):
+        self.memory = memory
+        self.name = name
+        self._vmas: dict[int, Vma] = {}  # start -> Vma (page aligned)
+        self._pages: dict[int, Frame] = {}  # vpn -> Frame
+        self._swap: dict[int, bytes] = {}  # vpn -> swapped-out contents
+        self._next_mmap = self.MMAP_BASE
+        # Freed ranges by size, reused LIFO — like Linux, a munmap followed
+        # by an equal-sized mmap usually returns the same address, which is
+        # what makes free+malloc hit pinning caches (Figure 3).
+        self._free_ranges: dict[int, list[int]] = {}
+        self.notifiers = MMUNotifierChain()
+        self._orphans: set[Frame] = set()
+        # Statistics.
+        self.faults = 0
+        self.cow_breaks = 0
+        self.swapins = 0
+
+    # -- VMA management ------------------------------------------------------
+    def mmap(self, length: int) -> int:
+        """Create an anonymous mapping; returns its start address."""
+        if length <= 0:
+            raise ValueError(f"mmap length must be positive, got {length}")
+        size = page_count(0, length) * PAGE_SIZE
+        reusable = self._free_ranges.get(size)
+        if reusable:
+            start = reusable.pop()
+        else:
+            start = self._next_mmap
+            self._next_mmap += size + PAGE_SIZE  # one-page guard gap
+        self._vmas[start] = Vma(start, start + size)
+        return start
+
+    def mmap_fixed(self, start: int, length: int) -> int:
+        """Map at a caller-chosen (page-aligned, free) address."""
+        if start % PAGE_SIZE:
+            raise ValueError(f"unaligned fixed mapping at {start:#x}")
+        size = page_count(0, length) * PAGE_SIZE
+        for addr in range(start, start + size, PAGE_SIZE):
+            if self.find_vma(addr) is not None:
+                raise BadAddress(f"fixed mapping overlaps existing VMA at {addr:#x}")
+        # A fixed mapping may land on a freed range: drop stale reuse entries.
+        for rsize, starts in self._free_ranges.items():
+            self._free_ranges[rsize] = [
+                s for s in starts if s + rsize <= start or s >= start + size
+            ]
+        self._vmas[start] = Vma(start, start + size)
+        return start
+
+    def find_vma(self, addr: int) -> Vma | None:
+        for vma in self._vmas.values():
+            if addr in vma:
+                return vma
+        return None
+
+    def is_mapped_range(self, addr: int, length: int) -> bool:
+        """True if every page of [addr, addr+length) lies in some VMA."""
+        if length <= 0:
+            return False
+        va = page_align(addr)
+        end = addr + length
+        while va < end:
+            vma = self.find_vma(va)
+            if vma is None:
+                return False
+            va = vma.end
+        return True
+
+    def munmap(self, addr: int, length: int) -> None:
+        """Remove mappings in [addr, addr+length); fires MMU notifiers first.
+
+        Only whole-VMA unmapping is supported (which is what user-space
+        allocators do); partial unmaps raise.
+        """
+        start = page_align(addr)
+        end = start + page_count(addr, length) * PAGE_SIZE
+        victims = [v for v in self._vmas.values() if v.start >= start and v.end <= end]
+        covered = sum(v.length for v in victims)
+        if not victims or covered < (end - start):
+            inside = self.find_vma(addr)
+            if inside is not None and (inside.start < start or inside.end > end):
+                raise BadAddress("partial VMA unmap not supported")
+            if not victims:
+                raise BadAddress(f"munmap of unmapped range {addr:#x}+{length}")
+        # Linux: notifiers run before the page table is torn down.
+        self.notifiers.invalidate_range(start, end)
+        for vma in victims:
+            del self._vmas[vma.start]
+            for vpn in range(vma.start // PAGE_SIZE, vma.end // PAGE_SIZE):
+                frame = self._pages.pop(vpn, None)
+                if frame is not None:
+                    self._release_frame(frame)
+                self._swap.pop(vpn, None)
+            self._free_ranges.setdefault(vma.length, []).append(vma.start)
+
+    def destroy(self) -> None:
+        """Tear the whole address space down (process exit)."""
+        self.notifiers.release()
+        for vma in list(self._vmas.values()):
+            self.munmap(vma.start, vma.length)
+
+    def _release_frame(self, frame: Frame) -> None:
+        if frame.pinned:
+            # A pinner still references the frame: it becomes an orphan and
+            # is freed when the last pin drops (see unpin_frame).
+            self._orphans.add(frame)
+        else:
+            self.memory.free(frame)
+
+    # -- page table ---------------------------------------------------------
+    def page(self, addr: int) -> Frame | None:
+        """Current frame backing ``addr`` (None if not present)."""
+        return self._pages.get(addr // PAGE_SIZE)
+
+    def resident_pages(self, addr: int, length: int) -> int:
+        first = addr // PAGE_SIZE
+        return sum(
+            1
+            for vpn in range(first, first + page_count(addr, length))
+            if vpn in self._pages
+        )
+
+    def fault_in(self, addr: int) -> Frame:
+        """Ensure the page containing ``addr`` is resident; return its frame."""
+        vpn = addr // PAGE_SIZE
+        frame = self._pages.get(vpn)
+        if frame is not None:
+            return frame
+        if self.find_vma(addr) is None:
+            raise BadAddress(f"fault on unmapped address {addr:#x} in {self.name}")
+        frame = self.memory.allocate()
+        swapped = self._swap.pop(vpn, None)
+        if swapped is not None:
+            frame.write(0, swapped)
+            self.swapins += 1
+        self._pages[vpn] = frame
+        self.faults += 1
+        return frame
+
+    # -- data access (application-level; timing charged by callers) ---------
+    def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        offset = 0
+        data = memoryview(data)
+        while offset < len(data):
+            va = addr + offset
+            frame = self.fault_in(va)
+            in_page = va % PAGE_SIZE
+            chunk = min(PAGE_SIZE - in_page, len(data) - offset)
+            frame.write(in_page, data[offset : offset + chunk])
+            offset += chunk
+
+    def read(self, addr: int, length: int) -> bytes:
+        out = bytearray()
+        offset = 0
+        while offset < length:
+            va = addr + offset
+            frame = self.fault_in(va)
+            in_page = va % PAGE_SIZE
+            chunk = min(PAGE_SIZE - in_page, length - offset)
+            out += frame.read(in_page, chunk)
+            offset += chunk
+        return bytes(out)
+
+    # -- pinning hooks (used by repro.kernel.pinning) ------------------------
+    def pin_page(self, addr: int) -> Frame:
+        frame = self.fault_in(addr)
+        self.memory.account_pin(frame)
+        return frame
+
+    def unpin_frame(self, frame: Frame) -> None:
+        self.memory.account_unpin(frame)
+        if not frame.pinned and frame in self._orphans:
+            self._orphans.discard(frame)
+            self.memory.free(frame)
+
+    @property
+    def orphan_count(self) -> int:
+        return len(self._orphans)
+
+    # -- VM events that invalidate translations ------------------------------
+    def cow_duplicate(self, addr: int, length: int) -> int:
+        """Copy-on-write break: replace resident, *unpinned* pages with fresh
+        frames holding the same bytes.  Fires notifiers for the whole range.
+        Returns the number of pages actually duplicated.
+        """
+        start = page_align(addr)
+        end = addr + length
+        if not self.is_mapped_range(addr, length):
+            raise BadAddress(f"COW on unmapped range {addr:#x}+{length}")
+        self.notifiers.invalidate_range(start, page_align(end - 1) + PAGE_SIZE)
+        duplicated = 0
+        for vpn in range(start // PAGE_SIZE, (end - 1) // PAGE_SIZE + 1):
+            old = self._pages.get(vpn)
+            if old is None or old.pinned:
+                continue  # pinned pages cannot be COW-broken away
+            new = self.memory.allocate()
+            new.copy_contents_from(old)
+            self._pages[vpn] = new
+            self.memory.free(old)
+            self.cow_breaks += 1
+            duplicated += 1
+        return duplicated
+
+    def migrate(self, addr: int, length: int) -> int:
+        """Migrate resident, unpinned pages to new frames (NUMA balancing,
+        compaction).  Fires notifiers; returns pages moved."""
+        # Same mechanics as a COW break from the pinner's point of view.
+        return self.cow_duplicate(addr, length)
+
+    def swap_out(self, addr: int, length: int) -> int:
+        """Write unpinned resident pages to swap and unmap them."""
+        start = page_align(addr)
+        end = addr + length
+        if not self.is_mapped_range(addr, length):
+            raise BadAddress(f"swap-out of unmapped range {addr:#x}+{length}")
+        self.notifiers.invalidate_range(start, page_align(end - 1) + PAGE_SIZE)
+        moved = 0
+        for vpn in range(start // PAGE_SIZE, (end - 1) // PAGE_SIZE + 1):
+            frame = self._pages.get(vpn)
+            if frame is None or frame.pinned:
+                continue
+            self._swap[vpn] = frame.read(0, PAGE_SIZE)
+            del self._pages[vpn]
+            self.memory.free(frame)
+            moved += 1
+        return moved

@@ -1,0 +1,118 @@
+"""User-space memory allocator (glibc-malloc-like, simplified).
+
+The allocator's observable behaviour is what matters to the paper:
+
+* small allocations come from an arena and freeing them does **not** unmap
+  anything — no MMU notifier fires, pinned caches stay valid;
+* large allocations (>= ``mmap_threshold``, 128 KiB like glibc) get their own
+  ``mmap`` and ``free`` really does ``munmap`` — this is the "free" arrow of
+  Figure 3 that fires the invalidation and forces a later repin;
+* freed blocks are recycled most-recently-freed-first per size class, so an
+  application that frees and reallocates the same-sized buffer usually gets
+  the same virtual address back — the reallocation pattern that makes
+  pinning caches (and their invalidation correctness) matter at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.address_space import AddressSpace, page_count, PAGE_SIZE
+
+__all__ = ["Allocation", "AllocationError", "Malloc"]
+
+
+class AllocationError(Exception):
+    """free() of an unknown pointer, or allocator misuse."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    addr: int
+    size: int
+    mmapped: bool
+
+
+class Malloc:
+    """A per-process allocator bound to one address space."""
+
+    def __init__(
+        self,
+        aspace: AddressSpace,
+        mmap_threshold: int = 128 * 1024,
+        arena_chunk: int = 4 * 1024 * 1024,
+    ):
+        self.aspace = aspace
+        self.mmap_threshold = mmap_threshold
+        self.arena_chunk = arena_chunk
+        self._arena_base = 0
+        self._arena_used = 0
+        self._arena_size = 0
+        self._bins: dict[int, list[int]] = {}  # rounded size -> free addrs (LIFO)
+        self._live: dict[int, Allocation] = {}
+        self.mallocs = 0
+        self.frees = 0
+
+    @staticmethod
+    def _round(size: int) -> int:
+        """Round to 16 bytes like glibc chunks (page-round mmapped blocks)."""
+        return (size + 15) & ~15
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            raise AllocationError(f"malloc({size})")
+        self.mallocs += 1
+        if size >= self.mmap_threshold:
+            length = page_count(0, size) * PAGE_SIZE
+            bin_ = self._bins.get(-length)  # mmapped bins keyed negatively
+            if bin_:
+                addr = bin_.pop()
+            else:
+                addr = self.aspace.mmap(length)
+            self._live[addr] = Allocation(addr, size, mmapped=True)
+            return addr
+        rounded = self._round(size)
+        bin_ = self._bins.get(rounded)
+        if bin_:
+            addr = bin_.pop()
+        else:
+            addr = self._arena_alloc(rounded)
+        self._live[addr] = Allocation(addr, size, mmapped=False)
+        return addr
+
+    def _arena_alloc(self, rounded: int) -> int:
+        if self._arena_used + rounded > self._arena_size:
+            chunk = max(self.arena_chunk, page_count(0, rounded) * PAGE_SIZE)
+            self._arena_base = self.aspace.mmap(chunk)
+            self._arena_used = 0
+            self._arena_size = chunk
+        addr = self._arena_base + self._arena_used
+        self._arena_used += rounded
+        return addr
+
+    def free(self, addr: int, *, unmap: bool = True) -> None:
+        """Release a block.
+
+        For mmapped blocks, ``unmap=True`` (the default, glibc behaviour)
+        munmaps the region — firing MMU notifiers.  ``unmap=False`` models a
+        caching allocator that keeps the mapping around for reuse (no
+        invalidation ever fires; the friendliest case for pinning caches).
+        """
+        alloc = self._live.pop(addr, None)
+        if alloc is None:
+            raise AllocationError(f"free of unknown pointer {addr:#x}")
+        self.frees += 1
+        if alloc.mmapped:
+            length = page_count(0, alloc.size) * PAGE_SIZE
+            if unmap:
+                self.aspace.munmap(addr, length)
+            else:
+                self._bins.setdefault(-length, []).append(addr)
+        else:
+            self._bins.setdefault(self._round(alloc.size), []).append(addr)
+
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def allocation(self, addr: int) -> Allocation | None:
+        return self._live.get(addr)

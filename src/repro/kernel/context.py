@@ -1,0 +1,63 @@
+"""Execution contexts: where CPU time gets charged.
+
+Driver code (Open-MX send/receive paths) is written against the
+:class:`ExecContext` interface so the same code runs in two situations:
+
+* inside a syscall on the application's core (:class:`AcquiringContext` —
+  every charge competes for the core at kernel priority), or
+* inside a bottom half that already holds a core (:class:`HeldContext` —
+  charges are plain time, and the core stays held for the whole drain, which
+  is how receive processing starves user work in Section 4.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.hw.cpu import PRIO_KERNEL, CpuCore
+from repro.sim import Environment
+from repro.util.units import transfer_time_ns
+
+__all__ = ["AcquiringContext", "ExecContext", "HeldContext"]
+
+
+class ExecContext:
+    """Common interface: charge CPU time in the right way for the context."""
+
+    def __init__(self, env: Environment, core: CpuCore, priority: int):
+        self.env = env
+        self.core = core
+        self.priority = priority
+
+    def charge(self, cost_ns: int) -> Generator:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def memcpy(self, nbytes: int) -> Generator:
+        yield from self.charge(
+            transfer_time_ns(nbytes, self.core.spec.memcpy_bytes_per_sec)
+        )
+
+
+class HeldContext(ExecContext):
+    """The caller already holds the core (interrupt bottom half)."""
+
+    def charge(self, cost_ns: int) -> Generator:
+        if cost_ns > 0:
+            yield self.env.timeout(cost_ns)
+
+
+class AcquiringContext(ExecContext):
+    """Each charge acquires the core (syscall / kernel-thread context)."""
+
+    def __init__(self, env: Environment, core: CpuCore, priority: int = PRIO_KERNEL,
+                 slice_ns: int | None = None):
+        super().__init__(env, core, priority)
+        self.slice_ns = slice_ns
+
+    def charge(self, cost_ns: int) -> Generator:
+        if cost_ns <= 0:
+            return
+        if self.slice_ns is not None:
+            yield from self.core.execute_sliced(cost_ns, self.priority, self.slice_ns)
+        else:
+            yield from self.core.execute(cost_ns, self.priority)

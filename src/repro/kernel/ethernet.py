@@ -1,0 +1,83 @@
+"""Kernel Ethernet layer: protocol registration, TX path, RX dispatch.
+
+Open-MX sits on the *generic* Ethernet layer of the kernel — no OS bypass —
+which is the architectural fact the whole paper builds on (every send and
+receive passes through the kernel, so the driver always gets a chance to pin
+on demand).  This module models ``dev_queue_xmit`` and the ethertype-based
+RX dispatch that the softirq engine feeds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.hw.nic import EthernetFrame, Nic
+from repro.kernel.context import ExecContext
+
+__all__ = ["EthernetLayer", "ETH_P_OMX"]
+
+# The ethertype Open-MX registers (the real stack uses 0x86DF).
+ETH_P_OMX = 0x86DF
+
+
+class EthernetLayer:
+    """Per-host Ethernet TX/RX plumbing."""
+
+    def __init__(self, nic: Nic):
+        self.nic = nic
+        self._protocols: dict[int, Callable[[EthernetFrame, ExecContext], Generator]] = {}
+        self.tx_packets = 0
+        self.loopback_packets = 0
+        self.rx_unhandled = 0
+
+    def register_protocol(
+        self,
+        ethertype: int,
+        handler: Callable[[EthernetFrame, ExecContext], Generator],
+    ) -> None:
+        if ethertype in self._protocols:
+            raise ValueError(f"ethertype {ethertype:#x} already registered")
+        self._protocols[ethertype] = handler
+
+    def unregister_protocol(self, ethertype: int) -> None:
+        del self._protocols[ethertype]
+
+    def xmit(
+        self,
+        ctx: ExecContext,
+        dst: str,
+        payload: Any,
+        payload_bytes: int,
+        ethertype: int = ETH_P_OMX,
+    ) -> Generator:
+        """Process: charge the TX path cost and hand the frame to the NIC.
+
+        Returns once the frame is queued; wire serialization proceeds
+        asynchronously in the NIC (the kernel does not busy-wait on TX).
+        """
+        yield from ctx.charge(ctx.core.spec.tx_per_packet_ns)
+        frame = EthernetFrame(
+            src=self.nic.address,
+            dst=dst,
+            ethertype=ethertype,
+            payload=payload,
+            payload_bytes=payload_bytes,
+        )
+        if dst == self.nic.address:
+            # Local delivery: frames addressed to our own MAC never reach
+            # the wire — the kernel loops them back (intra-node endpoints
+            # talk through the same stack without spending wire bandwidth).
+            self.nic.deliver(frame)
+            self.loopback_packets += 1
+        else:
+            self.nic.send(frame)
+        self.tx_packets += 1
+
+    def dispatch_rx(self, frame: EthernetFrame, ctx: ExecContext) -> Generator:
+        """Called by the bottom half for each received frame."""
+        handler = self._protocols.get(frame.ethertype)
+        if handler is None:
+            self.rx_unhandled += 1
+            return
+        yield from handler(frame, ctx)

@@ -1,0 +1,98 @@
+"""The per-host kernel: ties address spaces, pinning, interrupts and
+Ethernet together, and provides the user-process abstraction.
+
+A :class:`UserProcess` is one application process: an address space, a
+malloc arena, and a home core.  ``syscall`` models entering the kernel from
+that process (entry cost + driver body executed at kernel priority on the
+same core); ``compute`` models application CPU work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.hw.cpu import PRIO_USER, CpuCore
+from repro.hw.host import Host
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.allocator import Malloc
+from repro.kernel.context import AcquiringContext, ExecContext
+from repro.kernel.ethernet import EthernetLayer
+from repro.kernel.interrupts import SoftirqEngine
+from repro.kernel.pinning import PinService
+
+__all__ = ["Kernel", "UserProcess"]
+
+
+class Kernel:
+    """One host's operating system."""
+
+    def __init__(self, host: Host, bh_core_index: int = 0,
+                 pin_fraction: float | None = None):
+        if host.kernel is not None:
+            raise RuntimeError(f"{host.name} already has a kernel")
+        self.env = host.env
+        self.host = host
+        host.kernel = self
+        self.pin = PinService() if pin_fraction is None else PinService(pin_fraction)
+        self.ethernet = EthernetLayer(host.nic)
+        self.bh_core = host.cores[bh_core_index]
+        self.softirq = SoftirqEngine(
+            self.env, self.bh_core, host.nic, self.ethernet.dispatch_rx
+        )
+        host.nic.set_rx_callback(self.softirq.raise_irq)
+        self._processes: list[UserProcess] = []
+
+    def new_process(self, name: str, core_index: int) -> "UserProcess":
+        proc = UserProcess(self, name, self.host.cores[core_index])
+        self._processes.append(proc)
+        return proc
+
+    @property
+    def processes(self) -> list["UserProcess"]:
+        return list(self._processes)
+
+
+class UserProcess:
+    """An application process: address space + allocator + home core."""
+
+    def __init__(self, kernel: Kernel, name: str, core: CpuCore):
+        self.kernel = kernel
+        self.env = kernel.env
+        self.name = f"{kernel.host.name}/{name}"
+        self.core = core
+        self.aspace = AddressSpace(kernel.host.memory, self.name)
+        self.heap = Malloc(self.aspace)
+
+    # -- memory ---------------------------------------------------------------
+    def malloc(self, size: int) -> int:
+        return self.heap.malloc(size)
+
+    def free(self, addr: int, *, unmap: bool = True) -> None:
+        self.heap.free(addr, unmap=unmap)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Application store to memory (contents only; time via compute())."""
+        self.aspace.write(addr, data)
+
+    def read(self, addr: int, length: int) -> bytes:
+        return self.aspace.read(addr, length)
+
+    # -- execution --------------------------------------------------------------
+    def compute(self, cost_ns: int) -> Generator:
+        """Process: burn application CPU time on the home core."""
+        yield from self.core.execute_sliced(cost_ns, PRIO_USER)
+
+    def syscall(self, body: Callable[[ExecContext], Generator]) -> Generator:
+        """Process: enter the kernel and run ``body`` at kernel priority.
+
+        The body receives an :class:`ExecContext` bound to the calling core;
+        its return value is returned to the caller.
+        """
+        ctx = AcquiringContext(self.env, self.core)
+        yield from ctx.charge(self.core.spec.syscall_ns)
+        result = yield from body(ctx)
+        return result
+
+    def user_context(self) -> AcquiringContext:
+        """Context for user-level library work (polling, cache lookups)."""
+        return AcquiringContext(self.env, self.core, PRIO_USER)

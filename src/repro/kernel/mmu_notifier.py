@@ -1,0 +1,80 @@
+"""MMU notifiers (Linux 2.6.27), the invalidation mechanism the paper adopts.
+
+A subsystem that caches virtual-to-physical translations (here: the Open-MX
+driver's pinned user regions) registers an :class:`MMUNotifier` on a process
+address space.  Whenever the (simulated) kernel is about to change mappings —
+``munmap``, copy-on-write, swap-out, page migration — it calls
+``invalidate_range(start, end)`` on every registered notifier *before* the
+page-table change takes effect, exactly like ``invalidate_range_start`` in
+Linux.  This is what makes a kernel pinning cache reliable without
+intercepting ``malloc``/``munmap`` symbols in user-space (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+__all__ = ["MMUNotifier", "MMUNotifierChain"]
+
+
+class MMUNotifier(Protocol):
+    """The callback interface a registered subsystem implements."""
+
+    def invalidate_range(self, start: int, end: int) -> None:
+        """Mappings in [start, end) are about to be invalidated."""
+        ...  # pragma: no cover - protocol
+
+    def release(self) -> None:
+        """The whole address space is being torn down."""
+        ...  # pragma: no cover - protocol
+
+
+class CallbackNotifier:
+    """Convenience notifier built from plain callables."""
+
+    def __init__(
+        self,
+        invalidate: Callable[[int, int], None],
+        release: Callable[[], None] | None = None,
+    ):
+        self._invalidate = invalidate
+        self._release = release
+
+    def invalidate_range(self, start: int, end: int) -> None:
+        self._invalidate(start, end)
+
+    def release(self) -> None:
+        if self._release is not None:
+            self._release()
+
+
+class MMUNotifierChain:
+    """The per-address-space list of registered notifiers."""
+
+    def __init__(self) -> None:
+        self._notifiers: list[MMUNotifier] = []
+        self.invalidations = 0
+
+    def register(self, notifier: MMUNotifier) -> None:
+        if notifier in self._notifiers:
+            raise ValueError("notifier registered twice")
+        self._notifiers.append(notifier)
+
+    def unregister(self, notifier: MMUNotifier) -> None:
+        self._notifiers.remove(notifier)
+
+    def __len__(self) -> int:
+        return len(self._notifiers)
+
+    def invalidate_range(self, start: int, end: int) -> None:
+        if start >= end:
+            return
+        self.invalidations += 1
+        # Iterate over a copy: a notifier may unregister itself.
+        for notifier in list(self._notifiers):
+            notifier.invalidate_range(start, end)
+
+    def release(self) -> None:
+        for notifier in list(self._notifiers):
+            notifier.release()
+        self._notifiers.clear()

@@ -1,0 +1,210 @@
+"""Page pinning with the paper's measured cost model (Table 1).
+
+``PinService.pin_user_pages`` is the simulation analogue of
+``get_user_pages``: it faults pages in, takes a pin reference on each frame,
+and charges CPU time on the calling core.  The combined pin+unpin cost of
+``npages`` pages is ``base + per_page * npages`` (Table 1); ``PIN_FRACTION``
+of it is charged at pin time and the remainder at unpin time.
+
+Pinning can proceed page-by-page with a progress callback — that is the hook
+overlapped pinning (Section 3.3) uses to advance a region's pinned watermark
+while communication is already in flight.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.hw.cpu import PRIO_KERNEL, CpuCore
+from repro.hw.memory import PAGE_SIZE, Frame, OutOfMemory
+from repro.kernel.address_space import AddressSpace, BadAddress
+
+__all__ = ["PinError", "PinService", "PIN_FRACTION"]
+
+# Fraction of the combined pin+unpin cycle charged at pin time.  Faulting and
+# reference-taking dominate the pin half; unpin is mostly refcount drops.
+PIN_FRACTION = 0.75
+
+
+class PinError(Exception):
+    """Pinning failed (invalid address range or pinned-page limit)."""
+
+
+class PinService:
+    """Pins and unpins user pages on behalf of drivers."""
+
+    def __init__(self, pin_fraction: float = PIN_FRACTION):
+        if not 0.0 < pin_fraction < 1.0:
+            raise ValueError(f"pin_fraction must be in (0,1), got {pin_fraction}")
+        self.pin_fraction = pin_fraction
+        self.pins = 0
+        self.unpins = 0
+        self.pages_pinned = 0
+        self.pin_failures = 0
+
+    # -- cost model ---------------------------------------------------------
+    def pin_cost_ns(self, core: CpuCore, npages: int) -> int:
+        spec = core.spec
+        total = spec.pin_unpin_cost_ns(npages)
+        return int(total * self.pin_fraction)
+
+    def unpin_cost_ns(self, core: CpuCore, npages: int) -> int:
+        spec = core.spec
+        total = spec.pin_unpin_cost_ns(npages)
+        return total - int(total * self.pin_fraction)
+
+    def pin_base_ns(self, core: CpuCore) -> int:
+        return int(core.spec.pin_base_ns * self.pin_fraction)
+
+    def pin_per_page_ns(self, core: CpuCore) -> int:
+        return int(core.spec.pin_per_page_ns * self.pin_fraction)
+
+    # -- operations -----------------------------------------------------------
+    def pin_user_pages(
+        self,
+        core: CpuCore,
+        aspace: AddressSpace,
+        addr: int,
+        npages: int,
+        priority: int = PRIO_KERNEL,
+        on_page=None,
+        sliced: bool = False,
+    ) -> Generator:
+        """Process: pin ``npages`` starting at the page containing ``addr``.
+
+        Returns the list of pinned frames in page order.  ``on_page(i, frame)``
+        is invoked after each page is pinned (watermark advancement).  With
+        ``sliced=True`` the core is re-acquired between pages so that
+        higher-priority work (bottom halves) can interleave — this is the
+        behaviour that makes overlap-misses possible under interrupt load.
+
+        On failure, every page pinned so far is unpinned (time charged) and
+        :class:`PinError` propagates to the caller.
+        """
+        if npages <= 0:
+            raise PinError(f"cannot pin {npages} pages")
+        start = (addr // PAGE_SIZE) * PAGE_SIZE
+        if not aspace.is_mapped_range(start, npages * PAGE_SIZE):
+            # The paper: declaration of an invalid segment succeeds, but the
+            # pin fails at communication time and the request aborts.
+            self.pin_failures += 1
+            raise PinError(
+                f"range {start:#x}+{npages}p not mapped in {aspace.name}"
+            )
+
+        frames: list[Frame] = []
+        base = self.pin_base_ns(core)
+        per_page = self.pin_per_page_ns(core)
+
+        def charge(cost: int):
+            if sliced:
+                yield from core.execute_sliced(cost, priority)
+            else:
+                yield from core.execute(cost, priority)
+
+        try:
+            yield from charge(base)
+            for i in range(npages):
+                yield from charge(per_page)
+                frame = aspace.pin_page(start + i * PAGE_SIZE)
+                frames.append(frame)
+                self.pages_pinned += 1
+                if on_page is not None:
+                    on_page(i, frame)
+        except (BadAddress, OutOfMemory) as exc:
+            # Roll back partial pins, paying the unpin cost.
+            if frames:
+                yield from self.unpin_user_pages(core, aspace, frames, priority)
+            self.pin_failures += 1
+            raise PinError(str(exc)) from exc
+        self.pins += 1
+        return frames
+
+    def pin_pages_batched(
+        self,
+        core: CpuCore,
+        aspace: AddressSpace,
+        page_vas: list[int],
+        priority: int = PRIO_KERNEL,
+        start_index: int = 0,
+        batch_pages: int = 16,
+        charge_base: bool = True,
+        on_batch=None,
+        should_abort=None,
+    ) -> Generator:
+        """Process: pin ``page_vas[start_index:]`` in batches.
+
+        Each batch acquires the core once and charges ``batch * per_page``;
+        between batches higher-priority work can claim the core, and
+        ``should_abort()`` is consulted (an MMU notifier invalidating the
+        region mid-pin cancels the pinner this way).  ``on_batch(frames_so_far)``
+        is called with the new frames after each batch.
+
+        Returns the number of pages pinned by this call.  The caller owns the
+        frames reported through ``on_batch`` (no rollback on abort — an
+        aborting notifier has already released them); a :class:`PinError` on
+        bad addresses rolls back only this call's frames.
+        """
+        mine: list[Frame] = []
+        idx = start_index
+        try:
+            if charge_base:
+                yield from core.execute(self.pin_base_ns(core), priority)
+            per_page = self.pin_per_page_ns(core)
+            while idx < len(page_vas):
+                if should_abort is not None and should_abort():
+                    return idx - start_index
+                n = min(batch_pages, len(page_vas) - idx)
+                yield from core.execute(per_page * n, priority)
+                if should_abort is not None and should_abort():
+                    return idx - start_index
+                batch: list[Frame] = []
+                for va in page_vas[idx : idx + n]:
+                    frame = aspace.pin_page(va)
+                    # Track immediately so a mid-batch fault rolls back
+                    # every frame pinned so far, not just completed batches.
+                    mine.append(frame)
+                    batch.append(frame)
+                    self.pages_pinned += 1
+                idx += n
+                if on_batch is not None:
+                    on_batch(batch)
+        except (BadAddress, OutOfMemory) as exc:
+            # Roll back this call's frames.  Frames an MMU notifier already
+            # released (pin_count == 0) are skipped: the notifier owns their
+            # cleanup.  After a PinError the caller must treat every frame it
+            # saw via on_batch as unpinned.
+            still_pinned = [f for f in mine if f.pinned]
+            if still_pinned:
+                yield from self.unpin_user_pages(core, aspace, still_pinned, priority)
+            self.pin_failures += 1
+            raise PinError(str(exc)) from exc
+        self.pins += 1
+        return idx - start_index
+
+    def unpin_user_pages(
+        self,
+        core: CpuCore,
+        aspace: AddressSpace,
+        frames: list[Frame],
+        priority: int = PRIO_KERNEL,
+    ) -> Generator:
+        """Process: drop pin references on ``frames``, charging unpin time."""
+        if not frames:
+            return
+        cost = self.unpin_cost_ns(core, len(frames))
+        yield from core.execute(cost, priority)
+        for frame in frames:
+            aspace.unpin_frame(frame)
+        self.unpins += 1
+
+    def unpin_now(self, aspace: AddressSpace, frames: list[Frame]) -> None:
+        """Instantaneous unpin used from MMU-notifier context.
+
+        Linux notifier callbacks run synchronously inside the VM operation;
+        the (small) CPU cost is attributed to the invalidating caller, which
+        our callers charge as part of the munmap/COW path.
+        """
+        for frame in frames:
+            aspace.unpin_frame(frame)
+        self.unpins += 1

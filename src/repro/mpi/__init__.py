@@ -1,0 +1,39 @@
+"""MPI-like layer over Open-MX (the role Open MPI played in the paper)."""
+
+from .collectives import (
+    allgatherv,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    exchange,
+    gather,
+    gatherv,
+    reduce,
+    reduce_scatter,
+    scatter,
+    scatterv,
+    sendrecv_ring,
+)
+from .comm import ANY_SOURCE, ANY_TAG, Communicator, MpiRequest, RankComm
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MpiRequest",
+    "RankComm",
+    "allgatherv",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "exchange",
+    "gather",
+    "gatherv",
+    "reduce",
+    "reduce_scatter",
+    "scatter",
+    "scatterv",
+    "sendrecv_ring",
+]

@@ -1,0 +1,40 @@
+"""Open-MX stack: the paper's contribution.
+
+Public surface: :class:`OpenMXDriver` (one per host), :class:`OmxLib`
+(one per process/endpoint), :class:`OpenMXConfig` and :class:`PinningMode`
+to select the pinning strategy under study.
+"""
+
+from .config import OpenMXConfig, PinningMode
+from .driver import DriverEndpoint, OpenMXDriver
+from .events import RecvEagerEvent, RecvLargeDone, RndvEvent, SendLargeDone
+from .lib import MATCH_FULL_MASK, OmxLib, OmxRequest
+from .pin_manager import PinManager
+from .region_cache import RegionCache
+from .regions import RegionState, Segment, UserRegion
+from .wire import EagerFrag, Liback, Notify, PullReply, PullRequest, Rndv
+
+__all__ = [
+    "DriverEndpoint",
+    "EagerFrag",
+    "Liback",
+    "MATCH_FULL_MASK",
+    "Notify",
+    "OmxLib",
+    "OmxRequest",
+    "OpenMXConfig",
+    "OpenMXDriver",
+    "PinManager",
+    "PinningMode",
+    "PullReply",
+    "PullRequest",
+    "RecvEagerEvent",
+    "RecvLargeDone",
+    "RegionCache",
+    "RegionState",
+    "RndvEvent",
+    "Rndv",
+    "Segment",
+    "SendLargeDone",
+    "UserRegion",
+]

@@ -1,0 +1,100 @@
+"""Open-MX stack configuration: pinning modes and protocol tunables.
+
+``PinningMode`` enumerates the five strategies the paper's evaluation
+compares (Figures 6 and 7):
+
+* ``PIN_PER_COMM``  — "Regular Pinning" / "Pin once per Communication":
+  the region is pinned synchronously when the request is submitted and
+  unpinned when it completes.
+* ``PERMANENT``     — "Permanent Pinning": pinned at first use and never
+  unpinned (upper bound; unsafe without invalidation, used as a baseline).
+* ``CACHE``         — the paper's decoupled pinning cache: regions stay
+  declared (user-space LRU cache) and pinned (kernel) across uses; MMU
+  notifiers unpin on invalidation; repinned on next use.
+* ``OVERLAP``       — on-demand pinning overlapped with communication: the
+  initiating message is sent before pinning starts; pages are pinned while
+  the rendezvous round-trip and data transfer proceed.
+* ``OVERLAP_CACHE`` — overlapped pinning plus the pinning cache.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.units import SECOND
+
+__all__ = ["OpenMXConfig", "PinningMode"]
+
+
+class PinningMode(enum.Enum):
+    PIN_PER_COMM = "pin-per-comm"
+    PERMANENT = "permanent"
+    CACHE = "cache"
+    OVERLAP = "overlap"
+    OVERLAP_CACHE = "overlap-cache"
+
+    @property
+    def cached(self) -> bool:
+        """Does this mode keep regions pinned across communications?"""
+        return self in (PinningMode.PERMANENT, PinningMode.CACHE,
+                        PinningMode.OVERLAP_CACHE)
+
+    @property
+    def overlapped(self) -> bool:
+        """Does this mode overlap pinning with communication?"""
+        return self in (PinningMode.OVERLAP, PinningMode.OVERLAP_CACHE)
+
+
+@dataclass(frozen=True)
+class OpenMXConfig:
+    """Protocol and implementation tunables (defaults follow MXoE)."""
+
+    pinning_mode: PinningMode = PinningMode.PIN_PER_COMM
+    use_ioat: bool = False
+
+    # MXoE message classes: everything up to eager_max goes through the
+    # statically-pinned intermediate buffers; larger goes rendezvous.
+    eager_max: int = 32 * 1024
+    # Payload bytes per data frame (2 pages; fits a 9000-byte jumbo MTU).
+    data_frame_payload: int = 8192
+    # Pull protocol: block size per pull request, and how many pull
+    # requests the receiver keeps outstanding.
+    pull_block: int = 64 * 1024
+    pull_window: int = 2
+
+    # Reliability.
+    resend_timeout_ns: int = SECOND  # the paper's 1 s retransmission timeout
+    max_resend_rounds: int = 8  # give up (error) after this many dead timeouts
+
+    # User-space region cache (Section 3.2).
+    region_cache_capacity: int = 64
+    cache_lookup_ns: int = 250  # hash lookup + pinned-state check
+
+    # Overlap bookkeeping: the per-packet watermark test the paper calls
+    # "some additional tests on the region descriptor".
+    overlap_check_ns: int = 30
+
+    # Extensions the paper proposes as future work:
+    # Section 4.3: "pinning a few pages synchronously anyway before sending
+    # the initiating message to reduce the chance of getting some
+    # overlap-misses".  0 disables the synchronous prefix.
+    overlap_sync_pages: int = 0
+    # Section 5: only enable overlapped pinning for *blocking* operations
+    # (they gain the most; overlap-aware applications prefer the simple
+    # model with lower overhead).
+    adaptive_overlap: bool = False
+
+    # Library behaviour.
+    poll_slice_ns: int = 5_000  # completion-spin granularity
+    match_cost_ns: int = 500  # matching + queue bookkeeping per message
+
+    def __post_init__(self):
+        if self.data_frame_payload <= 0:
+            raise ValueError("data_frame_payload must be positive")
+        if self.pull_block % self.data_frame_payload:
+            raise ValueError("pull_block must be a multiple of the frame payload")
+        if self.pull_window < 1:
+            raise ValueError("pull_window must be >= 1")
+        if self.eager_max < 0:
+            raise ValueError("eager_max must be >= 0")

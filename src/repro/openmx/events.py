@@ -1,0 +1,60 @@
+"""Events the driver reports to the user-space library.
+
+The real Open-MX driver fills a shared event ring that the library polls;
+we model that ring as a queue of these records plus a doorbell the library
+waits on.  Everything the library needs for matching and completion is in
+the event — the library never touches driver internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmx.wire import Rndv
+
+__all__ = [
+    "DriverEvent",
+    "RecvEagerEvent",
+    "RecvLargeDone",
+    "RndvEvent",
+    "SendLargeDone",
+]
+
+
+@dataclass(frozen=True)
+class DriverEvent:
+    pass
+
+
+@dataclass(frozen=True)
+class RecvEagerEvent(DriverEvent):
+    """A complete eager message arrived (data still in kernel buffers)."""
+
+    src_board: str
+    src_endpoint: int
+    match_info: int
+    seq: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class RndvEvent(DriverEvent):
+    """A rendezvous arrived; the library must match and issue the pull."""
+
+    rndv: Rndv
+
+
+@dataclass(frozen=True)
+class SendLargeDone(DriverEvent):
+    """The peer's notify arrived: a large send completed."""
+
+    seq: int
+    status: str = "ok"  # or "error" (pin failure)
+
+
+@dataclass(frozen=True)
+class RecvLargeDone(DriverEvent):
+    """A pull completed: a large receive finished."""
+
+    handle: int
+    status: str = "ok"

@@ -1,0 +1,89 @@
+"""User-space region cache (Section 3.2).
+
+The cache maps segment lists to the small integer region descriptors the
+driver hands out, so repeated communications on the same buffer skip the
+declaration syscall entirely.  When the number of cached regions exceeds the
+configured capacity, the least-recently-used *idle* region is undeclared.
+
+Crucially — and this is the paper's point — the cache needs **no**
+invalidation plumbing: pinning validity is owned entirely by the kernel
+(MMU notifiers unpin; the driver repins on demand), so a cached descriptor
+is always safe to reuse even after the application freed and re-mapped the
+buffer underneath it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Generator
+
+from repro.kernel.context import ExecContext
+from repro.openmx.config import OpenMXConfig
+from repro.openmx.regions import Segment
+from repro.sim import Counter
+
+__all__ = ["RegionCache"]
+
+
+class RegionCache:
+    """LRU cache of declared regions for one endpoint."""
+
+    def __init__(
+        self,
+        config: OpenMXConfig,
+        declare: Callable[[ExecContext, tuple[Segment, ...]], Generator],
+        destroy: Callable[[ExecContext, int], Generator],
+        is_idle: Callable[[int], bool],
+        capacity: int | None = None,
+        counters: Counter | None = None,
+    ):
+        self.config = config
+        self._declare = declare
+        self._destroy = destroy
+        self._is_idle = is_idle
+        # None = unbounded (permanent pinning baseline never evicts).
+        self.capacity = capacity
+        self._lru: OrderedDict[tuple[Segment, ...], int] = OrderedDict()
+        self.counters = counters if counters is not None else Counter()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, ctx: ExecContext, segments: tuple[Segment, ...]) -> Generator:
+        """Process: return the region id for ``segments`` (declaring on miss)."""
+        yield from ctx.charge(self.config.cache_lookup_ns)
+        rid = self._lru.get(segments)
+        if rid is not None:
+            self._lru.move_to_end(segments)
+            self.counters.incr("region_cache_hit")
+            return rid
+        self.counters.incr("region_cache_miss")
+        if self.capacity is not None and len(self._lru) >= self.capacity:
+            yield from self._evict_one(ctx)
+        rid = yield from self._declare(ctx, segments)
+        self._lru[segments] = rid
+        return rid
+
+    def _evict_one(self, ctx: ExecContext) -> Generator:
+        """Undeclare the least-recently-used idle region."""
+        for key, rid in self._lru.items():
+            if self._is_idle(rid):
+                del self._lru[key]
+                yield from self._destroy(ctx, rid)
+                self.counters.incr("region_cache_evict")
+                return
+        # Every cached region is mid-communication: allow temporary overflow.
+        self.counters.incr("region_cache_overflow")
+
+    def forget(self, rid: int) -> None:
+        """Drop a descriptor the kernel reported as dead (failed region)."""
+        for key, cached in list(self._lru.items()):
+            if cached == rid:
+                del self._lru[key]
+                return
+
+    def flush(self, ctx: ExecContext) -> Generator:
+        """Undeclare everything (endpoint teardown)."""
+        for key, rid in list(self._lru.items()):
+            del self._lru[key]
+            yield from self._destroy(ctx, rid)

@@ -1,0 +1,197 @@
+"""User regions: the driver-side objects the paper's pinning model manages.
+
+A *user region* (Section 2.2) is a possibly-vectorial set of user memory
+segments declared to the driver and identified by a small integer.  The key
+design point the paper introduces is that a **declared** region need not be
+**pinned**: the region carries a pin state machine
+
+    UNPINNED --(comm request)--> PINNING --(all pages)--> PINNED
+       ^                                                     |
+       +--------(MMU notifier invalidation / unpin) ---------+
+
+and data accessors that work on the *pinned prefix* (watermark) so that
+overlapped pinning can serve packets for the already-pinned head of a region
+while the tail is still being pinned (Section 3.3).
+
+All reads/writes go through the pinned physical frames — never through the
+page table — exactly like the real driver's kernel-remap + memcpy path, so a
+stale pin (the bug notifier-less caches have) corrupts data detectably.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hw.memory import PAGE_SIZE, Frame
+from repro.kernel.address_space import AddressSpace, page_count
+
+__all__ = ["RegionState", "Segment", "UserRegion", "segments_pages"]
+
+
+class RegionState(enum.Enum):
+    UNPINNED = "unpinned"
+    PINNING = "pinning"
+    PINNED = "pinned"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous piece of a (possibly vectorial) region."""
+
+    va: int
+    length: int
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError(f"segment length must be positive, got {self.length}")
+
+
+def segments_pages(segments: tuple[Segment, ...]) -> list[int]:
+    """Page-aligned VAs of every page covering the segments, in region order."""
+    vas: list[int] = []
+    for seg in segments:
+        first = (seg.va // PAGE_SIZE) * PAGE_SIZE
+        for i in range(page_count(seg.va, seg.length)):
+            vas.append(first + i * PAGE_SIZE)
+    return vas
+
+
+class UserRegion:
+    """A declared region and its pin state."""
+
+    def __init__(self, region_id: int, aspace: AddressSpace,
+                 segments: tuple[Segment, ...]):
+        if not segments:
+            raise ValueError("a region needs at least one segment")
+        self.id = region_id
+        self.aspace = aspace
+        self.segments = tuple(segments)
+        self.total_length = sum(s.length for s in segments)
+        self.page_vas = segments_pages(self.segments)
+        self.npages = len(self.page_vas)
+        self.frames: list[Frame | None] = [None] * self.npages
+        self.watermark = 0  # pages pinned from the start of the region
+        self.state = RegionState.UNPINNED
+        self.destroyed = False
+        self.pin_cancelled = False  # set by the MMU notifier mid-pin
+        self.active_comms = 0
+        self.invalidate_pending = False
+        self.pin_epoch = 0
+        # Precompute (segment start offset, segment, first page index).
+        self._index: list[tuple[int, Segment, int]] = []
+        off = 0
+        page_idx = 0
+        for seg in self.segments:
+            self._index.append((off, seg, page_idx))
+            off += seg.length
+            page_idx += page_count(seg.va, seg.length)
+
+    # -- offset geometry -----------------------------------------------------
+    def _locate(self, offset: int) -> tuple[Segment, int, int]:
+        """(segment, byte offset within segment, global page index)."""
+        if not 0 <= offset < self.total_length:
+            raise ValueError(f"offset {offset} outside region of {self.total_length}")
+        for seg_off, seg, first_page in self._index:
+            if seg_off <= offset < seg_off + seg.length:
+                delta = offset - seg_off
+                va = seg.va + delta
+                page = first_page + (va // PAGE_SIZE - seg.va // PAGE_SIZE)
+                return seg, delta, page
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def pages_needed(self, offset: int, length: int) -> int:
+        """Highest page index touched by [offset, offset+length), plus one."""
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        _, _, last_page = self._locate(offset + length - 1)
+        return last_page + 1
+
+    def covers(self, offset: int, length: int) -> bool:
+        """Are all pages backing [offset, offset+length) pinned?
+
+        This is the per-packet "additional test on the region descriptor"
+        that overlapped pinning adds to the receive path.
+        """
+        return self.pages_needed(offset, length) <= self.watermark
+
+    # -- pin state transitions -------------------------------------------------
+    def attach_frames(self, start_page: int, frames: list[Frame]) -> None:
+        """Record newly pinned frames and advance the watermark."""
+        if start_page != self.watermark:
+            raise ValueError(
+                f"frames attached at page {start_page}, watermark {self.watermark}"
+            )
+        for i, frame in enumerate(frames):
+            self.frames[start_page + i] = frame
+        self.watermark = start_page + len(frames)
+        if self.watermark == self.npages:
+            self.state = RegionState.PINNED
+
+    def take_pinned_frames(self) -> list[Frame]:
+        """Remove and return all pinned frames (for unpinning); resets state."""
+        frames = [f for f in self.frames if f is not None]
+        self.frames = [None] * self.npages
+        self.watermark = 0
+        self.state = RegionState.UNPINNED
+        self.pin_epoch += 1
+        return frames
+
+    def mark_failed(self) -> None:
+        """A pin attempt hit an invalid address: frames were rolled back."""
+        self.frames = [None] * self.npages
+        self.watermark = 0
+        self.state = RegionState.FAILED
+        self.pin_epoch += 1
+
+    @property
+    def fully_pinned(self) -> bool:
+        return self.watermark == self.npages
+
+    # -- data access through pinned frames ------------------------------------
+    def _frame_at(self, offset: int) -> tuple[Frame, int, int]:
+        """(frame, in-page offset, bytes available in this page)."""
+        seg, delta, page = self._locate(offset)
+        frame = self.frames[page]
+        if frame is None:
+            raise RuntimeError(
+                f"region {self.id}: access at offset {offset} beyond pinned "
+                f"watermark (page {page}, watermark {self.watermark})"
+            )
+        va = seg.va + delta
+        in_page = va % PAGE_SIZE
+        seg_remaining = seg.length - delta
+        avail = min(PAGE_SIZE - in_page, seg_remaining)
+        return frame, in_page, avail
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read bytes out of the pinned frames (send-side DMA)."""
+        out = bytearray()
+        pos = offset
+        remaining = length
+        while remaining > 0:
+            frame, in_page, avail = self._frame_at(pos)
+            chunk = min(avail, remaining)
+            out += frame.read(in_page, chunk)
+            pos += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write bytes into the pinned frames (receive-side copy)."""
+        pos = offset
+        view = memoryview(data)
+        done = 0
+        while done < len(data):
+            frame, in_page, avail = self._frame_at(pos)
+            chunk = min(avail, len(data) - done)
+            frame.write(in_page, view[done : done + chunk])
+            pos += chunk
+            done += chunk
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<UserRegion {self.id} {self.state.value} "
+            f"{self.watermark}/{self.npages}p len={self.total_length}>"
+        )

@@ -1,0 +1,162 @@
+"""Contended resources for the simulation engine.
+
+Two primitives cover every contention point in the modelled system:
+
+* :class:`Resource` — a counted resource with a priority FIFO queue.  CPU
+  cores, DMA channels and NIC transmit queues are Resources.  Lower
+  ``priority`` values are served first (bottom-half interrupt work uses a
+  lower value than user processes, which is how receive processing starves
+  an application pinning loop in the Section 4.3 experiment).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``.
+  Packet queues and request completion queues are Stores.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Request", "Resource", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted.
+
+    Usable as a context manager so that the holder always releases::
+
+        with core.request(priority=5) as req:
+            yield req
+            yield env.timeout(cost)
+    """
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._grant_or_enqueue(self)
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` concurrent slots and a priority queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: set[Request] = set()
+        self._queue: list[tuple[int, int, Request]] = []
+        self._seq = 0
+        # Accounting for utilization reports.
+        self.total_grants = 0
+        self.busy_time = 0
+        self._busy_since: int | None = None
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim one slot; the returned event fires when the claim is granted."""
+        return Request(self, priority)
+
+    def _grant_or_enqueue(self, req: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._grant(req)
+        else:
+            self._seq += 1
+            heapq.heappush(self._queue, (req.priority, self._seq, req))
+
+    def _grant(self, req: Request) -> None:
+        self._users.add(req)
+        self.total_grants += 1
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+        req.succeed(req)
+
+    def release(self, req: Request) -> None:
+        """Give the slot back and wake the best queued claimant, if any."""
+        if req in self._users:
+            self._users.discard(req)
+        else:
+            # Cancel a queued request (e.g. the waiter was interrupted).
+            for i, (_, _, queued) in enumerate(self._queue):
+                if queued is req:
+                    del self._queue[i]
+                    heapq.heapify(self._queue)
+                    break
+            else:
+                return  # already released; releasing twice is harmless
+        while self._queue and len(self._users) < self.capacity:
+            _, _, nxt = heapq.heappop(self._queue)
+            self._grant(nxt)
+        if not self._users and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self, elapsed: int | None = None) -> float:
+        """Fraction of time the resource had at least one holder."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        span = elapsed if elapsed is not None else self.env.now
+        return busy / span if span > 0 else 0.0
+
+
+class Store:
+    """Unbounded FIFO of items with event-based blocking ``get``."""
+
+    def __init__(self, env: Environment, name: str = "store"):
+        self.env = env
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        self.total_puts += 1
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: (True, item) or (False, None)."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None

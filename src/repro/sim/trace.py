@@ -1,0 +1,114 @@
+"""Tracing and statistics collection for simulation runs.
+
+A :class:`Tracer` collects timestamped records cheaply (appends to a list).
+Experiments use it to reconstruct protocol timelines (Figures 2/3/5 of the
+paper) and to assert ordering properties in tests.  :class:`Counter` mirrors
+the counters the paper added to Open-MX to measure overlap-miss probability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Counter", "TraceRecord", "Tracer", "summarize"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace point."""
+
+    time: int
+    source: str
+    event: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:>12} ns] {self.source:<20} {self.event:<24} {extra}"
+
+
+class Tracer:
+    """Accumulates :class:`TraceRecord` entries; can be disabled for speed."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def record(self, time: int, source: str, event: str, **detail: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, source, event, detail))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def filter(self, source: str | None = None, event: str | None = None) -> list[TraceRecord]:
+        """Records matching the given source and/or event name."""
+        out = self.records
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def first(self, event: str) -> TraceRecord | None:
+        for r in self.records:
+            if r.event == event:
+                return r
+        return None
+
+    def last(self, event: str) -> TraceRecord | None:
+        for r in reversed(self.records):
+            if r.event == event:
+                return r
+        return None
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def render(self) -> str:
+        return "\n".join(str(r) for r in self.records)
+
+
+class Counter:
+    """Named integer counters, like the instrumentation added to Open-MX."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe ratio of two counters (0.0 when the denominator is zero)."""
+        den = self._counts.get(denominator, 0)
+        return self._counts.get(numerator, 0) / den if den else 0.0
+
+
+def summarize(samples: list[float]) -> dict[str, float]:
+    """Mean / min / max / stddev of a sample list (empty-safe)."""
+    if not samples:
+        return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "std": 0.0}
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((s - mean) ** 2 for s in samples) / n
+    return {
+        "n": n,
+        "mean": mean,
+        "min": min(samples),
+        "max": max(samples),
+        "std": math.sqrt(var),
+    }

@@ -1,0 +1,37 @@
+"""Shared utilities: units, formatting, reporting."""
+
+from .units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    fmt_rate_mib_s,
+    fmt_size,
+    fmt_time,
+    gbit_rate_bytes_per_sec,
+    throughput_mib_s,
+    transfer_time_ns,
+)
+
+__all__ = [
+    "GB",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "fmt_rate_mib_s",
+    "fmt_size",
+    "fmt_time",
+    "gbit_rate_bytes_per_sec",
+    "throughput_mib_s",
+    "transfer_time_ns",
+]

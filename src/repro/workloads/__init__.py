@@ -1,0 +1,24 @@
+"""Workload drivers: IMB benchmarks and the NPB IS skeleton."""
+
+from .imb import (
+    COLLECTIVE_BENCHMARKS,
+    ImbResult,
+    imb_collective,
+    imb_pingping,
+    imb_pingpong,
+)
+from .npb_is import IsConfig, IsResult, run_is
+from .patterns import ReuseResult, run_reuse_pattern
+
+__all__ = [
+    "COLLECTIVE_BENCHMARKS",
+    "ImbResult",
+    "IsConfig",
+    "IsResult",
+    "ReuseResult",
+    "imb_collective",
+    "imb_pingping",
+    "imb_pingpong",
+    "run_is",
+    "run_reuse_pattern",
+]

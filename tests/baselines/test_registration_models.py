@@ -1,0 +1,55 @@
+"""Tests for the Section 2.1 registration cost-model comparison."""
+
+import pytest
+
+from repro.baselines.registration_models import (
+    REGISTRATION_MODELS,
+    registration_cycle,
+)
+from repro.util.units import MIB
+
+
+def test_paper_headline_figures_emerge():
+    # Mietke et al.: InfiniBand registration "up to 100 us" for large
+    # buffers (1 MB = 256 pages).
+    ib = registration_cycle("infiniband", 1 * MIB)
+    assert 80_000 < ib.register_ns < 150_000
+    # Goglin et al.: GM deregistration "may reach 200 us".
+    gm = registration_cycle("gm", 1 * MIB)
+    assert 150_000 < gm.deregister_ns < 250_000
+
+
+def test_open_mx_is_pure_pinning():
+    from repro.hw import XEON_E5460
+
+    cost = registration_cycle("open-mx", 1 * MIB)
+    assert cost.total_ns == XEON_E5460.pin_unpin_cost_ns(256)
+
+
+def test_host_overhead_ordering():
+    """The Section 2.1 narrative: Open-MX < MX < IB/GM for the full cycle."""
+    for nbytes in (64 * 1024, 1 * MIB, 16 * MIB):
+        costs = {key: registration_cycle(key, nbytes).total_ns
+                 for key in REGISTRATION_MODELS}
+        assert costs["open-mx"] < costs["mx"]
+        assert costs["mx"] < costs["infiniband"]
+        assert costs["mx"] < costs["gm"]
+
+
+def test_costs_scale_with_pages():
+    small = registration_cycle("infiniband", 64 * 1024)
+    large = registration_cycle("infiniband", 16 * MIB)
+    assert large.total_ns > 50 * small.total_ns
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError):
+        registration_cycle("quadrics", 1 * MIB)
+
+
+def test_cost_model_respects_cpu():
+    from repro.hw import OPTERON_265, XEON_E5460
+
+    slow = registration_cycle("open-mx", 1 * MIB, cpu=OPTERON_265)
+    fast = registration_cycle("open-mx", 1 * MIB, cpu=XEON_E5460)
+    assert slow.total_ns > 3 * fast.total_ns

@@ -1,0 +1,138 @@
+"""Tests for the user-space registration-cache baseline, including the
+stale-translation corruption the paper's kernel-based design eliminates."""
+
+import pytest
+
+from repro.baselines import HookedAllocator, UserspaceRegistrationCache
+from repro.cluster import build_cluster
+from repro.openmx import OpenMXConfig, PinningMode, Segment
+from repro.util.units import KIB, MIB
+
+
+def build_rig(hooks_active=True):
+    """One endpoint with a user-space cache wired to real declare/destroy."""
+    cluster = build_cluster(
+        config=OpenMXConfig(pinning_mode=PinningMode.PERMANENT)
+    )
+    lib = cluster.lib(0)
+    driver, ep = lib.driver, lib.ep
+
+    def declare(ctx, va, length):
+        rid = yield from driver.declare_region(ctx, ep, (Segment(va, length),))
+        # Permanent mode: pin at declaration (classic registration cache).
+        region = ep.regions[rid]
+        driver.pin_mgr.comm_started(region)
+        ok = yield from driver.pin_mgr.acquire_pinned(ctx, region)
+        yield from driver.pin_mgr.comm_done(ctx, region)
+        assert ok
+        return rid
+
+    def destroy(ctx, rid):
+        yield from driver.destroy_region(ctx, ep, rid)
+
+    cache = UserspaceRegistrationCache(declare, destroy, capacity=4)
+    alloc = HookedAllocator(lib.proc, cache, hooks_active=hooks_active)
+    # Detach the kernel MMU notifier so this baseline stands alone.
+    lib.proc.aspace.notifiers.unregister(ep._notifier)
+    return cluster, lib, cache, alloc
+
+
+def run(cluster, gen):
+    return cluster.env.run(until=cluster.env.process(gen))
+
+
+def test_cache_hit_on_reuse():
+    cluster, lib, cache, alloc = build_rig()
+    ctx = lib.proc.user_context()
+
+    def body():
+        va = alloc.malloc(1 * MIB)
+        rid1 = yield from cache.get(ctx, va, 1 * MIB)
+        rid2 = yield from cache.get(ctx, va, 1 * MIB)
+        return rid1, rid2
+
+    rid1, rid2 = run(cluster, body())
+    assert rid1 == rid2
+    assert cache.counters["uscache_hit"] == 1
+
+
+def test_hooks_invalidate_on_free():
+    cluster, lib, cache, alloc = build_rig(hooks_active=True)
+    ctx = lib.proc.user_context()
+
+    def body():
+        va = alloc.malloc(1 * MIB)
+        yield from cache.get(ctx, va, 1 * MIB)
+        yield from alloc.free(ctx, va)
+        return va
+
+    run(cluster, body())
+    assert len(cache) == 0
+    assert cache.counters["uscache_invalidate"] == 1
+    # Invalidation destroyed the region, so nothing stays pinned.
+    assert cluster.nodes[0].host.memory.pinned_frames == 0
+
+
+def test_static_linking_leaves_stale_pins_and_corrupts():
+    """hooks_active=False (static binary / custom malloc): the cache keeps a
+    region whose pinned frames are no longer the application's pages."""
+    cluster, lib, cache, alloc = build_rig(hooks_active=False)
+    ctx = lib.proc.user_context()
+    driver, ep = lib.driver, lib.ep
+    n = 1 * MIB
+
+    def body():
+        va = alloc.malloc(n)
+        lib.proc.write(va, b"OLD!" * (n // 4))
+        rid = yield from cache.get(ctx, va, n)
+        yield from alloc.free(ctx, va)  # hook does NOT run
+        va2 = alloc.malloc(n)  # Linux-like VA reuse returns the same range
+        assert va2 == va
+        rid2 = yield from cache.get(ctx, va2, n)
+        return va, rid, rid2
+
+    va, rid, rid2 = run(cluster, body())
+    assert rid2 == rid  # the stale entry HIT — that is the bug
+    assert cache.counters["uscache_hit"] == 1
+    # The stale region still pins the *orphaned* old frames...
+    region = ep.regions[rid]
+    assert region.watermark > 0
+    assert lib.proc.aspace.orphan_count > 0
+    # ...so data written through it never reaches the reallocated buffer:
+    region.write(0, b"NEW!")
+    lib.proc.write(va, b"----")  # application's own view of the new buffer
+    assert lib.proc.read(va, 4) == b"----"
+    assert region.read(0, 4) == b"NEW!"  # the transfer landed elsewhere
+
+
+def test_hook_overhead_charged_per_free():
+    cluster, lib, cache, alloc = build_rig(hooks_active=True)
+    ctx = lib.proc.user_context()
+    env = cluster.env
+
+    def body():
+        ptrs = [alloc.malloc(64) for _ in range(100)]
+        t0 = env.now
+        for p in ptrs:
+            yield from alloc.free(ctx, p)
+        return env.now - t0
+
+    elapsed = run(cluster, body())
+    assert alloc.hook_invocations == 100
+    # Every tiny free paid the hook, even though none was ever registered.
+    assert elapsed >= 100 * 300
+
+
+def test_lru_eviction_destroys_region():
+    cluster, lib, cache, alloc = build_rig()
+    ctx = lib.proc.user_context()
+
+    def body():
+        vas = [alloc.malloc(256 * KIB) for _ in range(5)]
+        for va in vas:
+            yield from cache.get(ctx, va, 256 * KIB)
+        return vas
+
+    run(cluster, body())
+    assert len(cache) == 4  # capacity
+    assert cache.counters["uscache_evict"] == 1

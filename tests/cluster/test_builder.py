@@ -1,0 +1,64 @@
+"""Tests for cluster construction."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.hw import OPTERON_265, XEON_E5460
+from repro.openmx import OpenMXConfig, PinningMode
+
+
+def test_default_cluster_shape():
+    cluster = build_cluster()
+    assert len(cluster.nodes) == 2
+    for node in cluster.nodes:
+        assert node.host.cpu_spec is XEON_E5460
+        assert node.kernel is node.host.kernel
+        assert len(node.libs) == 1
+        # App process placed off the BH core by default.
+        assert node.procs[0].core.index == 1
+    assert len(cluster.fabric.addresses()) == 2
+
+
+def test_multi_proc_placement():
+    cluster = build_cluster(procs_per_host=3)
+    indices = [p.core.index for p in cluster.nodes[0].procs]
+    assert indices == [1, 2, 3]
+
+
+def test_first_app_core_override():
+    cluster = build_cluster(first_app_core=0)
+    assert cluster.nodes[0].procs[0].core.index == 0
+
+
+def test_too_many_procs_wraps_to_all_cores():
+    cluster = build_cluster(procs_per_host=4)
+    indices = [p.core.index for p in cluster.nodes[0].procs]
+    assert len(set(indices)) == 4  # all four cores used
+
+
+def test_custom_cpu_and_hosts():
+    cluster = build_cluster(nhosts=3, cpu=OPTERON_265)
+    assert len(cluster.nodes) == 3
+    assert len(cluster.nodes[0].host.cores) == 2  # dual-core Opteron
+
+
+def test_no_ioat():
+    cluster = build_cluster(ioat=None)
+    assert cluster.nodes[0].host.ioat is None
+
+
+def test_all_libs_ordering():
+    cluster = build_cluster(nhosts=2, procs_per_host=2)
+    libs = cluster.all_libs()
+    assert len(libs) == 4
+    assert [lib.board for lib in libs] == [
+        "host0/nic0", "host0/nic0", "host1/nic0", "host1/nic0"
+    ]
+    assert [lib.endpoint_id for lib in libs] == [0, 1, 0, 1]
+
+
+def test_shared_config_object():
+    config = OpenMXConfig(pinning_mode=PinningMode.OVERLAP)
+    cluster = build_cluster(config=config)
+    assert cluster.config is config
+    assert cluster.nodes[0].driver.config is config

@@ -1,0 +1,46 @@
+"""Tests for the text reporting helpers."""
+
+from repro.experiments.report import ascii_chart, format_table
+
+
+def test_format_table_alignment():
+    out = format_table(
+        ["Name", "Value"],
+        [["alpha", 1.0], ["b", 22.5]],
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1] and "Value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "alpha" in lines[3]
+    assert "22.5" in lines[4]
+
+
+def test_format_table_handles_empty_rows():
+    out = format_table(["A", "B"], [])
+    assert "A" in out and "B" in out
+
+
+def test_ascii_chart_contains_series_and_labels():
+    out = ascii_chart(
+        {"up": [("64kB", 10.0), ("1MB", 20.0)],
+         "down": [("64kB", 20.0), ("1MB", 10.0)]},
+        height=5,
+        title="chart",
+        ylabel="MiB/s",
+    )
+    assert "chart" in out
+    assert "o = up" in out
+    assert "x = down" in out
+    assert "64kB" in out
+    assert "MiB/s" in out
+
+
+def test_ascii_chart_empty():
+    assert ascii_chart({}) == "(no data)"
+
+
+def test_ascii_chart_flat_series_no_crash():
+    out = ascii_chart({"flat": [("a", 5.0), ("b", 5.0)]}, height=3)
+    assert "flat" in out

@@ -1,0 +1,110 @@
+"""Tests for CPU core execution and priority preemption behaviour."""
+
+import pytest
+
+from repro.hw import PRIO_BH, PRIO_USER, XEON_E5460, CpuCore
+from repro.sim import Environment
+
+
+@pytest.fixture
+def core():
+    env = Environment()
+    return env, CpuCore(env, XEON_E5460, "host0", 0)
+
+
+def test_execute_charges_time(core):
+    env, c = core
+
+    def work():
+        yield from c.execute(1_000)
+        return env.now
+
+    assert env.run(until=env.process(work())) == 1_000
+
+
+def test_execute_serializes_two_tasks(core):
+    env, c = core
+    ends = []
+
+    def work(cost):
+        yield from c.execute(cost)
+        ends.append(env.now)
+
+    env.process(work(100))
+    env.process(work(200))
+    env.run()
+    assert ends == [100, 300]
+
+
+def test_sliced_execution_yields_to_bottom_half(core):
+    env, c = core
+    timeline = []
+
+    def user_work():
+        yield from c.execute_sliced(10_000, priority=PRIO_USER, slice_ns=1_000)
+        timeline.append(("user_done", env.now))
+
+    def bh():
+        yield env.timeout(500)  # arrives mid-slice
+        yield from c.execute(2_000, priority=PRIO_BH)
+        timeline.append(("bh_done", env.now))
+
+    env.process(user_work())
+    env.process(bh())
+    env.run()
+    # The BH runs at the first slice boundary (t=1000), finishing at 3000,
+    # well before the user work completes at 12000.
+    assert timeline == [("bh_done", 3_000), ("user_done", 12_000)]
+
+
+def test_unsliced_execution_blocks_bottom_half(core):
+    env, c = core
+    timeline = []
+
+    def user_work():
+        yield from c.execute(10_000, priority=PRIO_USER)
+        timeline.append(("user_done", env.now))
+
+    def bh():
+        yield env.timeout(500)
+        yield from c.execute(2_000, priority=PRIO_BH)
+        timeline.append(("bh_done", env.now))
+
+    env.process(user_work())
+    env.process(bh())
+    env.run()
+    assert timeline == [("user_done", 10_000), ("bh_done", 12_000)]
+
+
+def test_memcpy_cost_tracks_bandwidth(core):
+    env, c = core
+    nbytes = 1_000_000
+
+    def work():
+        yield from c.memcpy(nbytes)
+        return env.now
+
+    expected = nbytes * 1e9 / c.spec.memcpy_bytes_per_sec
+    assert env.run(until=env.process(work())) == pytest.approx(expected, rel=0.01)
+
+
+def test_zero_cost_execute_completes(core):
+    env, c = core
+
+    def work():
+        yield from c.execute(0)
+        return env.now
+
+    assert env.run(until=env.process(work())) == 0
+
+
+def test_utilization(core):
+    env, c = core
+
+    def work():
+        yield env.timeout(500)
+        yield from c.execute(500)
+
+    env.process(work())
+    env.run()
+    assert c.utilization() == pytest.approx(0.5)

@@ -1,0 +1,74 @@
+"""Unit tests for the I/OAT DMA engine model."""
+
+import pytest
+
+from repro.hw import DEFAULT_IOAT, IoatEngine, IoatSpec
+from repro.sim import Environment
+from repro.util.units import transfer_time_ns
+
+
+def test_copy_takes_bandwidth_time():
+    env = Environment()
+    engine = IoatEngine(env, DEFAULT_IOAT, "h")
+
+    def work():
+        yield from engine.copy(4_000_000)
+        return env.now
+
+    expected = transfer_time_ns(4_000_000, DEFAULT_IOAT.copy_bytes_per_sec)
+    assert env.run(until=env.process(work())) == expected
+    assert engine.copies == 1
+    assert engine.bytes_copied == 4_000_000
+
+
+def test_single_channel_serializes():
+    env = Environment()
+    engine = IoatEngine(env, IoatSpec(channels=1), "h")
+    ends = []
+
+    def work():
+        yield from engine.copy(1_000_000)
+        ends.append(env.now)
+
+    env.process(work())
+    env.process(work())
+    env.run()
+    assert ends[1] == 2 * ends[0]
+
+
+def test_multiple_channels_parallel():
+    env = Environment()
+    engine = IoatEngine(env, IoatSpec(channels=2), "h")
+    ends = []
+
+    def work():
+        yield from engine.copy(1_000_000)
+        ends.append(env.now)
+
+    env.process(work())
+    env.process(work())
+    env.run()
+    assert ends[0] == ends[1]
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    engine = IoatEngine(env, DEFAULT_IOAT, "h")
+
+    def work():
+        yield from engine.copy(-1)
+
+    env.process(work())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_zero_byte_copy_is_instant():
+    env = Environment()
+    engine = IoatEngine(env, DEFAULT_IOAT, "h")
+
+    def work():
+        yield from engine.copy(0)
+        return env.now
+
+    assert env.run(until=env.process(work())) == 0

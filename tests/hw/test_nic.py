@@ -1,0 +1,105 @@
+"""Unit tests for the NIC model: serialization, rings, full duplex."""
+
+import pytest
+
+from repro.cluster.network import Fabric
+from repro.hw import MYRI_10G, XEON_E5460, EthernetFrame, Host, Nic, NicSpec
+from repro.sim import Environment
+from repro.util.units import transfer_time_ns
+
+
+def wired_pair(nic_spec=MYRI_10G, latency=1_000):
+    env = Environment()
+    a = Nic(env, nic_spec, "a")
+    b = Nic(env, nic_spec, "b")
+    fabric = Fabric(env, latency_ns=latency)
+    fabric.attach(a)
+    fabric.attach(b)
+    return env, a, b, fabric
+
+
+def frame(src, dst, nbytes, payload="p"):
+    return EthernetFrame(src=src, dst=dst, ethertype=0x1234, payload=payload,
+                         payload_bytes=nbytes)
+
+
+def test_wire_serialization_time():
+    env, a, b, _ = wired_pair()
+    arrivals = []
+    b.set_rx_callback(lambda: arrivals.append(env.now))
+    a.send(frame("a", "b", 8192))
+    env.run()
+    expected = transfer_time_ns(8192 + 42, MYRI_10G.link_bytes_per_sec) + 1_000
+    assert arrivals == [expected]
+    assert a.tx_frames == 1 and b.rx_frames == 1
+    assert b.ring_pop().payload == "p"
+
+
+def test_tx_serializes_back_to_back_frames():
+    env, a, b, _ = wired_pair()
+    arrivals = []
+    b.set_rx_callback(lambda: arrivals.append(env.now))
+    for _ in range(3):
+        a.send(frame("a", "b", 8192))
+    env.run()
+    gaps = [t2 - t1 for t1, t2 in zip(arrivals, arrivals[1:])]
+    per_frame = transfer_time_ns(8234, MYRI_10G.link_bytes_per_sec)
+    assert all(g == per_frame for g in gaps)
+
+
+def test_full_duplex_does_not_serialize_directions():
+    env, a, b, _ = wired_pair()
+    done = []
+    a.set_rx_callback(lambda: done.append(("a", env.now)))
+    b.set_rx_callback(lambda: done.append(("b", env.now)))
+    a.send(frame("a", "b", 8192))
+    b.send(frame("b", "a", 8192))
+    env.run()
+    # Both arrive at the same time: TX queues are independent.
+    assert done[0][1] == done[1][1]
+
+
+def test_rx_ring_overflow_drops():
+    spec = NicSpec(rx_ring_entries=4)
+    env, a, b, _ = wired_pair(nic_spec=spec)
+    for _ in range(8):
+        a.send(frame("a", "b", 1000))
+    env.run()  # nobody drains the ring
+    assert b.rx_frames == 4
+    assert b.rx_ring_drops == 4
+
+
+def test_oversize_frame_rejected():
+    env, a, b, _ = wired_pair()
+    a.send(frame("a", "b", MYRI_10G.mtu + 1))
+    with pytest.raises(ValueError, match="MTU"):
+        env.run()
+
+
+def test_unattached_nic_cannot_send():
+    env = Environment()
+    lone = Nic(env, MYRI_10G, "lone")
+    lone.send(frame("lone", "x", 100))
+    with pytest.raises(RuntimeError, match="not connected"):
+        env.run()
+
+
+def test_double_link_attach_rejected():
+    env, a, b, fabric = wired_pair()
+    with pytest.raises(RuntimeError, match="already attached"):
+        fabric2 = Fabric(env)
+        fabric2.attach(a)
+
+
+def test_duplicate_address_rejected():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.attach(Nic(env, MYRI_10G, "same"))
+    with pytest.raises(ValueError, match="duplicate"):
+        fabric.attach(Nic(env, MYRI_10G, "same"))
+
+
+def test_ring_pop_empty_returns_none():
+    env, a, b, _ = wired_pair()
+    assert b.ring_pop() is None
+    assert b.ring_pop_peek_empty()

@@ -1,0 +1,79 @@
+"""Tests for the hardware catalogue (Table 1 constants)."""
+
+import pytest
+
+from repro.hw import (
+    CPU_CATALOGUE,
+    OPTERON_265,
+    OPTERON_8347,
+    XEON_E5435,
+    XEON_E5460,
+    slower_nic,
+    MYRI_10G,
+)
+
+
+def test_table1_constants_match_paper():
+    # Table 1 of the paper, verbatim.
+    assert OPTERON_265.pin_base_ns == 4200
+    assert OPTERON_265.pin_per_page_ns == 720
+    assert OPTERON_8347.pin_base_ns == 2200
+    assert OPTERON_8347.pin_per_page_ns == 330
+    assert XEON_E5435.pin_base_ns == 2300
+    assert XEON_E5435.pin_per_page_ns == 250
+    assert XEON_E5460.pin_base_ns == 1300
+    assert XEON_E5460.pin_per_page_ns == 150
+
+
+def test_pin_cost_model_is_affine():
+    c0 = XEON_E5460.pin_unpin_cost_ns(0)
+    c1 = XEON_E5460.pin_unpin_cost_ns(1)
+    c100 = XEON_E5460.pin_unpin_cost_ns(100)
+    assert c0 == XEON_E5460.pin_base_ns
+    assert c1 - c0 == XEON_E5460.pin_per_page_ns
+    assert c100 - c0 == 100 * XEON_E5460.pin_per_page_ns
+
+
+def test_pin_cost_rejects_negative_pages():
+    with pytest.raises(ValueError):
+        XEON_E5460.pin_unpin_cost_ns(-1)
+
+
+@pytest.mark.parametrize(
+    "spec,expected_gb_s,tol",
+    [
+        (OPTERON_265, 5.5, 0.5),
+        (OPTERON_8347, 12.0, 0.7),
+        (XEON_E5435, 16.0, 0.7),
+        (XEON_E5460, 26.5, 1.0),
+    ],
+)
+def test_derived_pin_throughput_matches_table1_column(spec, expected_gb_s, tol):
+    # The paper's GB/s column is the large-region amortized pin rate.
+    assert spec.pin_throughput_gb_s() == pytest.approx(expected_gb_s, abs=tol)
+
+
+def test_faster_cpus_have_cheaper_kernel_paths():
+    assert XEON_E5460.syscall_ns < OPTERON_265.syscall_ns
+    assert XEON_E5460.bh_per_packet_ns < OPTERON_265.bh_per_packet_ns
+
+
+def test_catalogue_contains_all_four_cpus():
+    assert set(CPU_CATALOGUE) == {
+        "Opteron 265",
+        "Opteron 8347",
+        "Xeon E5435",
+        "Xeon E5460",
+    }
+
+
+def test_slower_nic_derivation():
+    gige = slower_nic(MYRI_10G, 1.0)
+    assert gige.link_bytes_per_sec == pytest.approx(1e9 / 8)
+    assert gige.mtu == MYRI_10G.mtu
+    assert "1.0G" in gige.name
+
+
+def test_nic_defaults_model_10g():
+    assert MYRI_10G.link_bytes_per_sec == pytest.approx(1.25e9)
+    assert MYRI_10G.mtu == 9000

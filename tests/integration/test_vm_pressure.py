@@ -1,0 +1,139 @@
+"""Transfers racing virtual-memory events (swap, COW, migration).
+
+The decoupled design's whole point is that the kernel may unpin cached
+regions at any idle moment (memory pressure) and repin on demand, with MMU
+notifiers keeping everything coherent.  These tests drive transfers while a
+"kswapd" process applies pressure to the application's buffers and assert
+byte-exact delivery plus clean pin accounting."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.openmx import OpenMXConfig, PinningMode, RegionState
+from repro.util.units import KIB, MIB
+
+
+def build(mode=PinningMode.CACHE):
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=mode))
+    return (cluster, cluster.lib(0), cluster.lib(1),
+            cluster.nodes[0].procs[0], cluster.nodes[1].procs[0])
+
+
+def run_all(cluster, *gens):
+    env = cluster.env
+    env.run(until=env.all_of([env.process(g) for g in gens]))
+
+
+def test_swap_out_between_transfers_repins_and_restores():
+    cluster, s, r, sp, rp = build()
+    n = 1 * MIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    data = bytes(i % 199 for i in range(n))
+    sp.write(sbuf, data)
+
+    def sender():
+        for tag in (1, 2):
+            req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, tag)
+            yield from s.wait(req)
+            if tag == 1:
+                # Memory pressure while idle: the cached region gets
+                # unpinned via the notifier and the pages go to swap.
+                assert sp.aspace.swap_out(sbuf, n) > 0
+                assert cluster.nodes[0].host.memory.pinned_frames == 0
+
+    def receiver():
+        for tag in (1, 2):
+            req = yield from r.irecv(rbuf, n, tag)
+            yield from r.wait(req)
+
+    run_all(cluster, sender(), receiver())
+    # Second transfer faulted the pages back from swap and repinned.
+    assert rp.read(rbuf, n) == data
+    counters = cluster.nodes[0].driver.counters
+    assert counters["region_pinned"] == 2  # initial pin + repin
+    assert counters["invalidate_unpinned"] == 1
+    assert sp.aspace.swapins > 0
+
+
+def test_cow_between_transfers_keeps_data_coherent():
+    cluster, s, r, sp, rp = build()
+    n = 512 * KIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    first = bytes(i % 97 for i in range(n))
+    sp.write(sbuf, first)
+    received = {}
+
+    def sender():
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, 1)
+        yield from s.wait(req)
+        # Fork-style COW break: new frames, notifier fires, region unpins.
+        sp.aspace.cow_duplicate(sbuf, n)
+        sp.write(sbuf, b"after-cow" + first[9:])
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, 2)
+        yield from s.wait(req)
+
+    def receiver():
+        for tag in (1, 2):
+            req = yield from r.irecv(rbuf, n, tag)
+            yield from r.wait(req)
+            received[tag] = rp.read(rbuf, 16)
+
+    run_all(cluster, sender(), receiver())
+    assert received[1] == first[:16]
+    assert received[2] == b"after-cow" + first[9:16]
+
+
+def test_swap_cannot_touch_pages_of_active_transfer():
+    """While a transfer is in flight its pages are pinned, so the swapper
+    skips them (that is what pinning is *for*)."""
+    cluster, s, r, sp, rp = build()
+    n = 4 * MIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    data = bytes(i % 251 for i in range(n))
+    sp.write(sbuf, data)
+    swapped = {}
+
+    def sender():
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, 1)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, n, 1)
+        yield from r.wait(req)
+
+    def kswapd():
+        yield cluster.env.timeout(500_000)  # mid-transfer
+        swapped["pages"] = sp.aspace.swap_out(sbuf, n)
+
+    run_all(cluster, sender(), receiver(), kswapd())
+    assert swapped["pages"] == 0
+    assert rp.read(rbuf, n) == data
+    # The invalidation was deferred and honoured at completion (uncached
+    # regions) or kept pinned (cache mode unpins due to the notifier).
+    assert cluster.nodes[0].driver.counters["invalidate_deferred"] == 1
+
+
+def test_repeated_pressure_cycles_stay_leak_free():
+    cluster, s, r, sp, rp = build()
+    n = 256 * KIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    data = bytes(i % 31 for i in range(n))
+    sp.write(sbuf, data)
+
+    def sender():
+        for tag in range(6):
+            req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, tag)
+            yield from s.wait(req)
+            sp.aspace.swap_out(sbuf, n)
+
+    def receiver():
+        for tag in range(6):
+            req = yield from r.irecv(rbuf, n, tag)
+            yield from r.wait(req)
+
+    run_all(cluster, sender(), receiver())
+    assert rp.read(rbuf, n) == data
+    assert sp.aspace.orphan_count == 0
+    # Only the receive region (still cached+pinned) holds frames.
+    assert cluster.nodes[0].host.memory.pinned_frames == 0
+    assert cluster.nodes[1].host.memory.pinned_frames == 64

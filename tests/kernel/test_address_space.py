@@ -1,0 +1,194 @@
+"""Tests for VMAs, page tables, faults, COW, swap and orphaned frames."""
+
+import pytest
+
+from repro.hw import PAGE_SIZE, PhysicalMemory
+from repro.kernel import AddressSpace, BadAddress, page_count
+
+
+@pytest.fixture
+def aspace():
+    return AddressSpace(PhysicalMemory(256 * PAGE_SIZE), "test")
+
+
+def test_page_count_spans():
+    assert page_count(0, 1) == 1
+    assert page_count(0, PAGE_SIZE) == 1
+    assert page_count(0, PAGE_SIZE + 1) == 2
+    assert page_count(PAGE_SIZE - 1, 2) == 2  # straddles a boundary
+    assert page_count(100, 0) == 0
+
+
+def test_mmap_is_page_aligned_and_disjoint(aspace):
+    a = aspace.mmap(100)
+    b = aspace.mmap(PAGE_SIZE * 3)
+    assert a % PAGE_SIZE == 0
+    assert b % PAGE_SIZE == 0
+    assert b >= a + PAGE_SIZE  # guard gap keeps mappings apart
+    assert aspace.find_vma(a).length == PAGE_SIZE
+    assert aspace.find_vma(b).length == 3 * PAGE_SIZE
+
+
+def test_lazy_faulting(aspace):
+    va = aspace.mmap(4 * PAGE_SIZE)
+    assert aspace.resident_pages(va, 4 * PAGE_SIZE) == 0
+    aspace.write(va + PAGE_SIZE, b"x")
+    assert aspace.resident_pages(va, 4 * PAGE_SIZE) == 1
+    assert aspace.faults == 1
+
+
+def test_fault_on_unmapped_address_raises(aspace):
+    with pytest.raises(BadAddress):
+        aspace.fault_in(0x1234)
+
+
+def test_read_write_roundtrip_across_pages(aspace):
+    va = aspace.mmap(3 * PAGE_SIZE)
+    data = bytes(range(256)) * 33  # 8448 bytes, crosses two page boundaries
+    aspace.write(va + 100, data)
+    assert aspace.read(va + 100, len(data)) == data
+
+
+def test_munmap_frees_frames_and_fires_notifier(aspace):
+    events = []
+
+    class Spy:
+        def invalidate_range(self, start, end):
+            events.append((start, end))
+
+        def release(self):
+            events.append("release")
+
+    aspace.notifiers.register(Spy())
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(va, b"hello")
+    used_before = aspace.memory.used_frames
+    aspace.munmap(va, 2 * PAGE_SIZE)
+    assert aspace.memory.used_frames == used_before - 1
+    assert events == [(va, va + 2 * PAGE_SIZE)]
+    with pytest.raises(BadAddress):
+        aspace.read(va, 1)
+
+
+def test_munmap_unmapped_range_raises(aspace):
+    with pytest.raises(BadAddress):
+        aspace.munmap(0x5000, PAGE_SIZE)
+
+
+def test_partial_vma_unmap_rejected(aspace):
+    va = aspace.mmap(4 * PAGE_SIZE)
+    with pytest.raises(BadAddress):
+        aspace.munmap(va, PAGE_SIZE)
+
+
+def test_pinned_frame_survives_munmap_as_orphan(aspace):
+    va = aspace.mmap(PAGE_SIZE)
+    frame = aspace.pin_page(va)
+    frame.write(0, b"precious")
+    aspace.munmap(va, PAGE_SIZE)
+    # The frame is unmapped but not freed: the pinner still holds it.
+    assert aspace.orphan_count == 1
+    assert frame.read(0, 8) == b"precious"
+    # A new mapping gets a different frame, so the pinner's copy is stale.
+    va2 = aspace.mmap(PAGE_SIZE)
+    frame2 = aspace.fault_in(va2)
+    assert frame2 is not frame
+    # Final unpin releases the orphan back to the pool.
+    aspace.unpin_frame(frame)
+    assert aspace.orphan_count == 0
+    assert not frame.in_use
+
+
+def test_cow_duplicate_replaces_unpinned_frames_and_preserves_bytes(aspace):
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(va, b"AAAA")
+    aspace.write(va + PAGE_SIZE, b"BBBB")
+    old0 = aspace.page(va)
+    moved = aspace.cow_duplicate(va, 2 * PAGE_SIZE)
+    assert moved == 2
+    assert aspace.page(va) is not old0
+    assert aspace.read(va, 4) == b"AAAA"
+    assert aspace.read(va + PAGE_SIZE, 4) == b"BBBB"
+
+
+def test_cow_skips_pinned_pages(aspace):
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(va, b"AAAA")
+    aspace.write(va + PAGE_SIZE, b"BBBB")
+    pinned = aspace.pin_page(va)
+    moved = aspace.cow_duplicate(va, 2 * PAGE_SIZE)
+    assert moved == 1
+    assert aspace.page(va) is pinned  # pinned page stayed put
+    aspace.unpin_frame(pinned)
+
+
+def test_cow_fires_notifier_before_pages_move(aspace):
+    observed = []
+
+    class Spy:
+        def invalidate_range(self, start, end):
+            # At notifier time the old translation must still be visible
+            # (invalidate_range_start semantics).
+            observed.append(aspace.page(start))
+
+        def release(self):
+            pass
+
+    va = aspace.mmap(PAGE_SIZE)
+    aspace.write(va, b"x")
+    old = aspace.page(va)
+    aspace.notifiers.register(Spy())
+    aspace.cow_duplicate(va, PAGE_SIZE)
+    assert observed == [old]
+
+
+def test_swap_out_and_back_in_preserves_contents(aspace):
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(va, b"swap me")
+    moved = aspace.swap_out(va, 2 * PAGE_SIZE)
+    assert moved == 1  # only the resident page went to swap
+    assert aspace.resident_pages(va, 2 * PAGE_SIZE) == 0
+    assert aspace.read(va, 7) == b"swap me"  # faults back in from swap
+    assert aspace.swapins == 1
+
+
+def test_swap_skips_pinned_pages(aspace):
+    va = aspace.mmap(PAGE_SIZE)
+    frame = aspace.pin_page(va)
+    assert aspace.swap_out(va, PAGE_SIZE) == 0
+    assert aspace.page(va) is frame
+    aspace.unpin_frame(frame)
+
+
+def test_destroy_releases_notifiers_and_mappings(aspace):
+    released = []
+
+    class Spy:
+        def invalidate_range(self, start, end):
+            pass
+
+        def release(self):
+            released.append(True)
+
+    aspace.notifiers.register(Spy())
+    va = aspace.mmap(PAGE_SIZE)
+    aspace.write(va, b"x")
+    aspace.destroy()
+    assert released == [True]
+    assert aspace.memory.used_frames == 0
+
+
+def test_mmap_fixed_rejects_overlap(aspace):
+    va = aspace.mmap(PAGE_SIZE)
+    with pytest.raises(BadAddress):
+        aspace.mmap_fixed(va, PAGE_SIZE)
+    with pytest.raises(ValueError):
+        aspace.mmap_fixed(va + 1, PAGE_SIZE)
+
+
+def test_is_mapped_range(aspace):
+    va = aspace.mmap(2 * PAGE_SIZE)
+    assert aspace.is_mapped_range(va, 2 * PAGE_SIZE)
+    assert aspace.is_mapped_range(va + 100, PAGE_SIZE)
+    assert not aspace.is_mapped_range(va, 3 * PAGE_SIZE)  # guard page
+    assert not aspace.is_mapped_range(va, 0)

@@ -1,0 +1,138 @@
+"""Tests for the user-space malloc model."""
+
+import pytest
+
+from repro.hw import PAGE_SIZE, PhysicalMemory
+from repro.kernel import AddressSpace, AllocationError, BadAddress, Malloc
+
+
+@pytest.fixture
+def heap():
+    aspace = AddressSpace(PhysicalMemory(4096 * PAGE_SIZE), "app")
+    return aspace, Malloc(aspace)
+
+
+def test_small_allocations_do_not_unmap_on_free(heap):
+    aspace, m = heap
+    fired = []
+
+    class Spy:
+        def invalidate_range(self, s, e):
+            fired.append((s, e))
+
+        def release(self):
+            pass
+
+    aspace.notifiers.register(Spy())
+    p = m.malloc(1024)
+    m.free(p)
+    assert fired == []  # arena blocks never munmap
+
+
+def test_large_allocations_unmap_on_free(heap):
+    aspace, m = heap
+    fired = []
+
+    class Spy:
+        def invalidate_range(self, s, e):
+            fired.append((s, e))
+
+        def release(self):
+            pass
+
+    aspace.notifiers.register(Spy())
+    p = m.malloc(1024 * 1024)
+    aspace.write(p, b"data")
+    m.free(p)
+    assert len(fired) == 1
+    start, end = fired[0]
+    assert start == p and end - start == 1024 * 1024
+
+
+def test_same_size_realloc_reuses_address_small(heap):
+    _, m = heap
+    p1 = m.malloc(4096)
+    m.free(p1)
+    p2 = m.malloc(4096)
+    assert p2 == p1
+
+
+def test_large_free_without_unmap_reuses_address(heap):
+    aspace, m = heap
+    p1 = m.malloc(512 * 1024)
+    m.free(p1, unmap=False)
+    p2 = m.malloc(512 * 1024)
+    assert p2 == p1
+    assert aspace.is_mapped_range(p2, 512 * 1024)
+
+
+def test_large_free_with_unmap_then_realloc_gets_fresh_mapping(heap):
+    aspace, m = heap
+    p1 = m.malloc(512 * 1024)
+    aspace.write(p1, b"old")
+    m.free(p1)
+    p2 = m.malloc(512 * 1024)
+    # The VA may differ; either way the mapping is new and zero-filled.
+    assert aspace.read(p2, 3) == b"\x00\x00\x00"
+
+
+def test_distinct_small_allocations_do_not_overlap(heap):
+    _, m = heap
+    ptrs = [m.malloc(100) for _ in range(50)]
+    ptrs.sort()
+    for a, b in zip(ptrs, ptrs[1:]):
+        assert b - a >= 112  # 100 rounded to 112
+
+
+def test_free_unknown_pointer_raises(heap):
+    _, m = heap
+    with pytest.raises(AllocationError):
+        m.free(0xDEAD000)
+
+
+def test_double_free_raises(heap):
+    _, m = heap
+    p = m.malloc(64)
+    m.free(p)
+    with pytest.raises(AllocationError):
+        m.free(p)
+
+
+def test_malloc_nonpositive_raises(heap):
+    _, m = heap
+    with pytest.raises(AllocationError):
+        m.malloc(0)
+    with pytest.raises(AllocationError):
+        m.malloc(-5)
+
+
+def test_use_after_free_of_large_block_faults(heap):
+    aspace, m = heap
+    p = m.malloc(256 * 1024)
+    aspace.write(p, b"x")
+    m.free(p)
+    with pytest.raises(BadAddress):
+        aspace.read(p, 1)
+
+
+def test_allocation_metadata(heap):
+    _, m = heap
+    p = m.malloc(300 * 1024)
+    alloc = m.allocation(p)
+    assert alloc.mmapped and alloc.size == 300 * 1024
+    q = m.malloc(64)
+    assert not m.allocation(q).mmapped
+    assert m.live_allocations() == 2
+    m.free(p)
+    m.free(q)
+    assert m.live_allocations() == 0
+    assert m.mallocs == 2 and m.frees == 2
+
+
+def test_arena_grows_when_exhausted(heap):
+    aspace, m = heap
+    small = Malloc(aspace, arena_chunk=8 * 1024)
+    ptrs = [small.malloc(4096) for _ in range(5)]  # needs 3 arena chunks
+    assert len(set(ptrs)) == 5
+    for p in ptrs:
+        aspace.write(p, b"ok")

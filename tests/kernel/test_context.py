@@ -1,0 +1,101 @@
+"""Tests for execution contexts (held vs acquiring)."""
+
+import pytest
+
+from repro.hw import PRIO_BH, PRIO_KERNEL, XEON_E5460, CpuCore
+from repro.kernel import AcquiringContext, HeldContext
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    return env, CpuCore(env, XEON_E5460, "h", 0)
+
+
+def test_held_context_charges_without_acquiring(rig):
+    env, core = rig
+    done = {}
+
+    def holder():
+        with core.request(PRIO_BH) as r:
+            yield r
+            ctx = HeldContext(env, core, PRIO_BH)
+            yield from ctx.charge(1_000)
+            done["t"] = env.now
+
+    env.process(holder())
+    env.run()
+    assert done["t"] == 1_000
+
+
+def test_acquiring_context_competes_for_core(rig):
+    env, core = rig
+    order = []
+
+    def hog():
+        with core.request(PRIO_KERNEL) as r:
+            yield r
+            yield env.timeout(500)
+            order.append("hog")
+
+    def acquirer():
+        ctx = AcquiringContext(env, core)
+        yield from ctx.charge(100)
+        order.append("acq")
+
+    env.process(hog())
+    env.process(acquirer())
+    env.run()
+    assert order == ["hog", "acq"]
+    assert env.now == 600
+
+
+def test_acquiring_context_sliced(rig):
+    env, core = rig
+    done = {}
+
+    def long_task():
+        ctx = AcquiringContext(env, core, priority=PRIO_KERNEL, slice_ns=100)
+        yield from ctx.charge(1_000)
+        done["long"] = env.now
+
+    def urgent():
+        yield env.timeout(50)
+        with core.request(PRIO_BH) as r:
+            yield r
+            yield env.timeout(10)
+            done["urgent"] = env.now
+
+    env.process(long_task())
+    env.process(urgent())
+    env.run()
+    assert done["urgent"] < done["long"]
+
+
+def test_memcpy_uses_spec_bandwidth(rig):
+    env, core = rig
+    done = {}
+
+    def work():
+        ctx = HeldContext(env, core, PRIO_BH)
+        with core.request(PRIO_BH) as r:
+            yield r
+            yield from ctx.memcpy(1_000_000)
+            done["t"] = env.now
+
+    env.process(work())
+    env.run()
+    expected = 1_000_000 * 1e9 / XEON_E5460.memcpy_bytes_per_sec
+    assert done["t"] == pytest.approx(expected, rel=0.01)
+
+
+def test_zero_charge_is_free(rig):
+    env, core = rig
+
+    def work():
+        ctx = AcquiringContext(env, core)
+        yield from ctx.charge(0)
+        return env.now
+
+    assert env.run(until=env.process(work())) == 0

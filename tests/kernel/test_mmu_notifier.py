@@ -1,0 +1,85 @@
+"""Tests for the MMU notifier chain."""
+
+import pytest
+
+from repro.kernel import CallbackNotifier, MMUNotifierChain
+
+
+def test_register_and_invalidate():
+    chain = MMUNotifierChain()
+    hits = []
+    chain.register(CallbackNotifier(lambda s, e: hits.append((s, e))))
+    chain.invalidate_range(0x1000, 0x3000)
+    assert hits == [(0x1000, 0x3000)]
+    assert chain.invalidations == 1
+
+
+def test_empty_range_is_ignored():
+    chain = MMUNotifierChain()
+    hits = []
+    chain.register(CallbackNotifier(lambda s, e: hits.append((s, e))))
+    chain.invalidate_range(0x2000, 0x2000)
+    chain.invalidate_range(0x3000, 0x2000)
+    assert hits == []
+    assert chain.invalidations == 0
+
+
+def test_multiple_notifiers_all_called():
+    chain = MMUNotifierChain()
+    hits = []
+    for tag in "ab":
+        chain.register(CallbackNotifier(lambda s, e, t=tag: hits.append(t)))
+    chain.invalidate_range(0, 1)
+    assert hits == ["a", "b"]
+
+
+def test_double_register_rejected():
+    chain = MMUNotifierChain()
+    n = CallbackNotifier(lambda s, e: None)
+    chain.register(n)
+    with pytest.raises(ValueError):
+        chain.register(n)
+
+
+def test_unregister_stops_callbacks():
+    chain = MMUNotifierChain()
+    hits = []
+    n = CallbackNotifier(lambda s, e: hits.append(1))
+    chain.register(n)
+    chain.unregister(n)
+    chain.invalidate_range(0, 10)
+    assert hits == []
+    assert len(chain) == 0
+
+
+def test_notifier_may_unregister_itself_during_callback():
+    chain = MMUNotifierChain()
+    hits = []
+
+    class SelfRemover:
+        def invalidate_range(self, s, e):
+            hits.append("fired")
+            chain.unregister(self)
+
+        def release(self):
+            pass
+
+    chain.register(SelfRemover())
+    chain.invalidate_range(0, 10)
+    chain.invalidate_range(0, 10)
+    assert hits == ["fired"]
+
+
+def test_release_calls_all_and_clears():
+    chain = MMUNotifierChain()
+    released = []
+    chain.register(CallbackNotifier(lambda s, e: None, lambda: released.append(1)))
+    chain.register(CallbackNotifier(lambda s, e: None, lambda: released.append(2)))
+    chain.release()
+    assert released == [1, 2]
+    assert len(chain) == 0
+
+
+def test_callback_notifier_release_optional():
+    n = CallbackNotifier(lambda s, e: None)
+    n.release()  # no-op, must not raise

@@ -1,0 +1,183 @@
+"""Tests for the pinning service: costs, rollback, notifier interplay."""
+
+import pytest
+
+from repro.hw import PAGE_SIZE, XEON_E5460, CpuCore, PhysicalMemory
+from repro.kernel import AddressSpace, PinError, PinService
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    core = CpuCore(env, XEON_E5460, "h0", 0)
+    mem = PhysicalMemory(1024 * PAGE_SIZE)
+    aspace = AddressSpace(mem, "p0")
+    return env, core, aspace, PinService()
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_pin_charges_table1_cost_fraction(rig):
+    env, core, aspace, pin = rig
+    va = aspace.mmap(16 * PAGE_SIZE)
+
+    def work():
+        frames = yield from pin.pin_user_pages(core, aspace, va, 16)
+        return frames
+
+    frames = run(env, work())
+    assert len(frames) == 16
+    expected = int(XEON_E5460.pin_unpin_cost_ns(16) * pin.pin_fraction)
+    # Per-page truncation may shave a few ns; base+16*per_page at 0.75.
+    assert abs(env.now - expected) <= 16
+    assert all(f.pinned for f in frames)
+    assert aspace.memory.pinned_frames == 16
+
+
+def test_unpin_charges_remaining_fraction(rig):
+    env, core, aspace, pin = rig
+    va = aspace.mmap(8 * PAGE_SIZE)
+
+    def work():
+        frames = yield from pin.pin_user_pages(core, aspace, va, 8)
+        t_pin = env.now
+        yield from pin.unpin_user_pages(core, aspace, frames)
+        return t_pin
+
+    t_pin = run(env, work())
+    total = XEON_E5460.pin_unpin_cost_ns(8)
+    assert env.now == t_pin + (total - int(total * pin.pin_fraction))
+    assert aspace.memory.pinned_frames == 0
+
+
+def test_pin_unmapped_range_fails_with_pin_error(rig):
+    env, core, aspace, pin = rig
+    va = aspace.mmap(2 * PAGE_SIZE)
+
+    def work():
+        with pytest.raises(PinError):
+            yield from pin.pin_user_pages(core, aspace, va, 4)  # 2 pages short
+        return True
+
+    assert run(env, work())
+    assert pin.pin_failures == 1
+    assert aspace.memory.pinned_frames == 0
+
+
+def test_pin_zero_pages_rejected(rig):
+    env, core, aspace, pin = rig
+
+    def work():
+        with pytest.raises(PinError):
+            yield from pin.pin_user_pages(core, aspace, 0x1000, 0)
+        return True
+
+    assert run(env, work())
+
+
+def test_on_page_callback_sees_monotonic_progress(rig):
+    env, core, aspace, pin = rig
+    va = aspace.mmap(8 * PAGE_SIZE)
+    seen = []
+
+    def work():
+        yield from pin.pin_user_pages(
+            core, aspace, va, 8, on_page=lambda i, f: seen.append((i, env.now))
+        )
+
+    run(env, work())
+    assert [i for i, _ in seen] == list(range(8))
+    times = [t for _, t in seen]
+    assert times == sorted(times)
+    assert times[0] < times[-1]  # pages arrive over time, not all at once
+
+
+def test_partial_pin_failure_rolls_back(rig):
+    env, core, aspace, pin = rig
+    # Map 4 pages, pin limit of 2 frames -> the pin of page 3 fails.
+    mem = PhysicalMemory(100 * PAGE_SIZE, max_pinned_fraction=0.02)  # 2 frames
+    aspace = AddressSpace(mem, "tight")
+    va = aspace.mmap(4 * PAGE_SIZE)
+
+    def work():
+        with pytest.raises(PinError):
+            yield from pin.pin_user_pages(core, aspace, va, 4)
+        return True
+
+    assert run(env, work())
+    assert mem.pinned_frames == 0  # rollback unpinned everything
+
+
+def test_mmu_notifier_unpin_during_munmap(rig):
+    """The paper's core safety property: a driver that unpins from its MMU
+    notifier never holds stale translations after munmap."""
+    env, core, aspace, pin = rig
+    va = aspace.mmap(4 * PAGE_SIZE)
+    pinned_frames = []
+
+    class Driver:
+        def invalidate_range(self, start, end):
+            if pinned_frames and start <= va < end:
+                pin.unpin_now(aspace, pinned_frames)
+                pinned_frames.clear()
+
+        def release(self):
+            pass
+
+    aspace.notifiers.register(Driver())
+
+    def work():
+        frames = yield from pin.pin_user_pages(core, aspace, va, 4)
+        pinned_frames.extend(frames)
+        aspace.munmap(va, 4 * PAGE_SIZE)
+
+    run(env, work())
+    assert aspace.memory.pinned_frames == 0
+    assert aspace.orphan_count == 0
+    assert aspace.memory.used_frames == 0
+
+
+def test_without_notifier_munmap_leaves_pinned_orphans(rig):
+    """The failure mode of notifier-less caches: frames leak as orphans and
+    the cached translation goes stale."""
+    env, core, aspace, pin = rig
+    va = aspace.mmap(2 * PAGE_SIZE)
+
+    def work():
+        frames = yield from pin.pin_user_pages(core, aspace, va, 2)
+        aspace.munmap(va, 2 * PAGE_SIZE)
+        return frames
+
+    frames = run(env, work())
+    assert aspace.orphan_count == 2
+    assert all(f.pinned for f in frames)
+
+
+def test_sliced_pinning_yields_to_high_priority_work(rig):
+    env, core, aspace, pin = rig
+    va = aspace.mmap(64 * PAGE_SIZE)
+    done = {}
+
+    def pinner():
+        yield from pin.pin_user_pages(core, aspace, va, 64, sliced=True)
+        done["pin"] = env.now
+
+    def bh():
+        yield env.timeout(500)
+        yield from core.execute(3_000, priority=0)
+        done["bh"] = env.now
+
+    env.process(pinner())
+    env.process(bh())
+    env.run()
+    assert done["bh"] < done["pin"]  # the BH got in even though pin started first
+
+
+def test_pin_fraction_validation():
+    with pytest.raises(ValueError):
+        PinService(0.0)
+    with pytest.raises(ValueError):
+        PinService(1.0)

@@ -1,0 +1,255 @@
+"""Correctness tests for the collectives against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.mpi import (
+    Communicator,
+    allgatherv,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    exchange,
+    reduce,
+    reduce_scatter,
+    sendrecv_ring,
+)
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.util.units import KIB
+
+
+def make_world(nranks=4, mode=PinningMode.CACHE):
+    nhosts = 2 if nranks > 1 else 1
+    per_host = (nranks + nhosts - 1) // nhosts
+    cluster = build_cluster(nhosts=nhosts, procs_per_host=per_host,
+                            config=OpenMXConfig(pinning_mode=mode))
+    comm = Communicator(cluster.all_libs()[:nranks])
+    return cluster, comm
+
+
+def run_ranks(cluster, fns):
+    env = cluster.env
+    done = env.all_of([env.process(fn) for fn in fns])
+    env.run(until=done)
+
+
+def vec(rank, n, scale=1.0):
+    return (np.arange(n, dtype=np.float64) * scale + rank).tobytes()
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast(nranks, root):
+    cluster, comm = make_world(nranks)
+    n = 96 * KIB
+    payload = bytes(i % 199 for i in range(n))
+    bufs = []
+    for rc in comm.ranks():
+        buf = rc.alloc(n)
+        if rc.rank == root:
+            rc.write(buf, payload)
+        bufs.append(buf)
+
+    run_ranks(cluster, [bcast(rc, bufs[rc.rank], n, root=root)
+                        for rc in comm.ranks()])
+    for rc in comm.ranks():
+        assert rc.read(bufs[rc.rank], n) == payload
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4])
+def test_reduce_sums_correctly(nranks):
+    cluster, comm = make_world(nranks)
+    count = 4096
+    n = count * 8
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s, r = rc.alloc(n), rc.alloc(n)
+        rc.write(s, vec(rc.rank, count))
+        sbufs.append(s)
+        rbufs.append(r)
+
+    run_ranks(cluster, [reduce(rc, sbufs[rc.rank], rbufs[rc.rank], n, root=0)
+                        for rc in comm.ranks()])
+    expected = sum(
+        np.frombuffer(vec(r, count), dtype=np.float64) for r in range(nranks)
+    )
+    got = np.frombuffer(comm.rank(0).read(rbufs[0], n), dtype=np.float64)
+    np.testing.assert_allclose(got, expected)
+
+
+@pytest.mark.parametrize("nranks", [2, 4])
+def test_allreduce(nranks):
+    cluster, comm = make_world(nranks)
+    count = 2048
+    n = count * 8
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s, r = rc.alloc(n), rc.alloc(n)
+        rc.write(s, vec(rc.rank, count, scale=0.5))
+        sbufs.append(s)
+        rbufs.append(r)
+
+    run_ranks(cluster, [allreduce(rc, sbufs[rc.rank], rbufs[rc.rank], n)
+                        for rc in comm.ranks()])
+    expected = sum(
+        np.frombuffer(vec(r, count, 0.5), dtype=np.float64)
+        for r in range(nranks)
+    )
+    for rc in comm.ranks():
+        got = np.frombuffer(rc.read(rbufs[rc.rank], n), dtype=np.float64)
+        np.testing.assert_allclose(got, expected)
+
+
+def test_reduce_scatter():
+    nranks = 4
+    cluster, comm = make_world(nranks)
+    chunk_count = 1024
+    chunk = chunk_count * 8
+    total = nranks * chunk
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s, r = rc.alloc(total), rc.alloc(chunk)
+        rc.write(s, vec(rc.rank, nranks * chunk_count))
+        sbufs.append(s)
+        rbufs.append(r)
+
+    run_ranks(cluster, [
+        reduce_scatter(rc, sbufs[rc.rank], rbufs[rc.rank], chunk)
+        for rc in comm.ranks()
+    ])
+    full = sum(
+        np.frombuffer(vec(r, nranks * chunk_count), dtype=np.float64)
+        for r in range(nranks)
+    )
+    for rc in comm.ranks():
+        got = np.frombuffer(rc.read(rbufs[rc.rank], chunk), dtype=np.float64)
+        np.testing.assert_allclose(
+            got, full[rc.rank * chunk_count : (rc.rank + 1) * chunk_count]
+        )
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4])
+def test_allgatherv_unequal_blocks(nranks):
+    cluster, comm = make_world(nranks)
+    counts = [(r + 1) * 8 * KIB for r in range(nranks)]
+    total = sum(counts)
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s = rc.alloc(counts[rc.rank])
+        r = rc.alloc(total)
+        rc.write(s, bytes([rc.rank + 1]) * counts[rc.rank])
+        sbufs.append(s)
+        rbufs.append(r)
+
+    run_ranks(cluster, [
+        allgatherv(rc, sbufs[rc.rank], counts[rc.rank], rbufs[rc.rank], counts)
+        for rc in comm.ranks()
+    ])
+    expected = b"".join(bytes([r + 1]) * counts[r] for r in range(nranks))
+    for rc in comm.ranks():
+        assert rc.read(rbufs[rc.rank], total) == expected
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4])
+def test_alltoall(nranks):
+    cluster, comm = make_world(nranks)
+    chunk = 16 * KIB
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s, r = rc.alloc(nranks * chunk), rc.alloc(nranks * chunk)
+        blocks = b"".join(
+            bytes([(rc.rank * 16 + dest) % 256]) * chunk for dest in range(nranks)
+        )
+        rc.write(s, blocks)
+        sbufs.append(s)
+        rbufs.append(r)
+
+    run_ranks(cluster, [alltoall(rc, sbufs[rc.rank], rbufs[rc.rank], chunk)
+                        for rc in comm.ranks()])
+    for rc in comm.ranks():
+        expected = b"".join(
+            bytes([(src * 16 + rc.rank) % 256]) * chunk for src in range(nranks)
+        )
+        assert rc.read(rbufs[rc.rank], nranks * chunk) == expected
+
+
+def test_sendrecv_ring_rotates_blocks():
+    nranks = 4
+    cluster, comm = make_world(nranks)
+    n = 32 * KIB
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s, r = rc.alloc(n), rc.alloc(n)
+        rc.write(s, bytes([rc.rank + 10]) * n)
+        sbufs.append(s)
+        rbufs.append(r)
+
+    run_ranks(cluster, [sendrecv_ring(rc, sbufs[rc.rank], rbufs[rc.rank], n)
+                        for rc in comm.ranks()])
+    for rc in comm.ranks():
+        left = (rc.rank - 1) % nranks
+        assert rc.read(rbufs[rc.rank], n) == bytes([left + 10]) * n
+
+
+def test_exchange_receives_both_neighbours():
+    nranks = 4
+    cluster, comm = make_world(nranks)
+    n = 16 * KIB
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s, r = rc.alloc(n), rc.alloc(2 * n)
+        rc.write(s, bytes([rc.rank + 1]) * n)
+        sbufs.append(s)
+        rbufs.append(r)
+
+    run_ranks(cluster, [exchange(rc, sbufs[rc.rank], rbufs[rc.rank], n)
+                        for rc in comm.ranks()])
+    for rc in comm.ranks():
+        left = (rc.rank - 1) % nranks
+        right = (rc.rank + 1) % nranks
+        assert rc.read(rbufs[rc.rank], n) == bytes([left + 1]) * n
+        assert rc.read(rbufs[rc.rank] + n, n) == bytes([right + 1]) * n
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_barrier_completes(nranks):
+    cluster, comm = make_world(nranks)
+    order = []
+
+    def body(rc):
+        yield from barrier(rc)
+        order.append(rc.rank)
+
+    run_ranks(cluster, [body(rc) for rc in comm.ranks()])
+    assert sorted(order) == list(range(nranks))
+
+
+def test_collectives_work_with_large_rendezvous_payloads():
+    """Blocks above eager_max exercise the pinning path inside collectives."""
+    cluster, comm = make_world(2, mode=PinningMode.OVERLAP_CACHE)
+    n = 256 * KIB
+    payload = bytes(i % 251 for i in range(n))
+    bufs = []
+    for rc in comm.ranks():
+        buf = rc.alloc(n)
+        if rc.rank == 0:
+            rc.write(buf, payload)
+        bufs.append(buf)
+
+    run_ranks(cluster, [bcast(rc, bufs[rc.rank], n, root=0)
+                        for rc in comm.ranks()])
+    assert comm.rank(1).read(bufs[1], n) == payload
+
+
+def test_reduce_rejects_non_float64_length():
+    cluster, comm = make_world(2)
+    rc = comm.rank(0)
+    buf = rc.alloc(100)
+
+    def body():
+        with pytest.raises(ValueError):
+            yield from reduce(rc, buf, buf, 100)
+
+    run_ranks(cluster, [body()])

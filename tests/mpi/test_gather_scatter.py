@@ -1,0 +1,118 @@
+"""Tests for gather/gatherv/scatter/scatterv."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.mpi import Communicator, gather, gatherv, scatter, scatterv
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.util.units import KIB
+
+
+def make_world(nranks=4):
+    cluster = build_cluster(nhosts=2, procs_per_host=(nranks + 1) // 2,
+                            config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+    return cluster, Communicator(cluster.all_libs()[:nranks])
+
+
+def run_ranks(cluster, fns):
+    env = cluster.env
+    env.run(until=env.all_of([env.process(fn) for fn in fns]))
+
+
+@pytest.mark.parametrize("nranks,root", [(2, 0), (4, 0), (4, 2), (3, 1)])
+def test_gather_collects_in_rank_order(nranks, root):
+    cluster, comm = make_world(nranks)
+    n = 32 * KIB
+    sbufs, rbuf = [], None
+    for rc in comm.ranks():
+        s = rc.alloc(n)
+        rc.write(s, bytes([rc.rank + 1]) * n)
+        sbufs.append(s)
+        if rc.rank == root:
+            rbuf = rc.alloc(nranks * n)
+
+    run_ranks(cluster, [
+        gather(rc, sbufs[rc.rank], rbuf if rc.rank == root else 0, n, root)
+        for rc in comm.ranks()
+    ])
+    expected = b"".join(bytes([r + 1]) * n for r in range(nranks))
+    assert comm.rank(root).read(rbuf, nranks * n) == expected
+
+
+@pytest.mark.parametrize("nranks,root", [(2, 1), (4, 0), (4, 3)])
+def test_scatter_distributes_in_rank_order(nranks, root):
+    cluster, comm = make_world(nranks)
+    n = 32 * KIB
+    rbufs, sbuf = [], None
+    for rc in comm.ranks():
+        rbufs.append(rc.alloc(n))
+        if rc.rank == root:
+            sbuf = rc.alloc(nranks * n)
+            rc.write(sbuf, b"".join(bytes([r + 10]) * n for r in range(nranks)))
+
+    run_ranks(cluster, [
+        scatter(rc, sbuf if rc.rank == root else 0, rbufs[rc.rank], n, root)
+        for rc in comm.ranks()
+    ])
+    for rc in comm.ranks():
+        assert rc.read(rbufs[rc.rank], n) == bytes([rc.rank + 10]) * n
+
+
+def test_gatherv_unequal_blocks():
+    nranks = 4
+    cluster, comm = make_world(nranks)
+    counts = [(r + 1) * 8 * KIB for r in range(nranks)]
+    total = sum(counts)
+    sbufs, rbuf = [], None
+    for rc in comm.ranks():
+        s = rc.alloc(counts[rc.rank])
+        rc.write(s, bytes([rc.rank + 1]) * counts[rc.rank])
+        sbufs.append(s)
+        if rc.rank == 0:
+            rbuf = rc.alloc(total)
+
+    run_ranks(cluster, [
+        gatherv(rc, sbufs[rc.rank], counts[rc.rank],
+                rbuf if rc.rank == 0 else 0, counts, 0)
+        for rc in comm.ranks()
+    ])
+    expected = b"".join(bytes([r + 1]) * counts[r] for r in range(nranks))
+    assert comm.rank(0).read(rbuf, total) == expected
+
+
+def test_scatterv_unequal_blocks():
+    nranks = 3
+    cluster, comm = make_world(nranks)
+    counts = [(r + 1) * 4 * KIB for r in range(nranks)]
+    total = sum(counts)
+    rbufs, sbuf = [], None
+    for rc in comm.ranks():
+        rbufs.append(rc.alloc(counts[rc.rank]))
+        if rc.rank == 0:
+            sbuf = rc.alloc(total)
+            rc.write(sbuf, b"".join(bytes([r + 20]) * counts[r]
+                                    for r in range(nranks)))
+
+    run_ranks(cluster, [
+        scatterv(rc, sbuf if rc.rank == 0 else 0, counts, rbufs[rc.rank],
+                 counts[rc.rank], 0)
+        for rc in comm.ranks()
+    ])
+    for rc in comm.ranks():
+        assert rc.read(rbufs[rc.rank], counts[rc.rank]) == (
+            bytes([rc.rank + 20]) * counts[rc.rank]
+        )
+
+
+def test_counts_validation():
+    cluster, comm = make_world(2)
+    rc = comm.rank(0)
+    buf = rc.alloc(1024)
+
+    def body():
+        with pytest.raises(ValueError):
+            yield from gatherv(rc, buf, 1024, buf, [1024], 0)  # wrong len
+        with pytest.raises(ValueError):
+            yield from scatterv(rc, buf, [512, 512], buf, 1024, 0)  # mismatch
+
+    run_ranks(cluster, [body()])

@@ -1,0 +1,162 @@
+"""Tests for the MPI point-to-point layer."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.util.units import KIB, MIB
+
+
+def make_world(nhosts=2, procs_per_host=1, **cfg_kw):
+    cluster = build_cluster(nhosts=nhosts, procs_per_host=procs_per_host,
+                            config=OpenMXConfig(**cfg_kw))
+    comm = Communicator(cluster.all_libs())
+    return cluster, comm
+
+
+def run_ranks(cluster, fns):
+    env = cluster.env
+    done = env.all_of([env.process(fn) for fn in fns])
+    env.run(until=done)
+
+
+def test_blocking_send_recv_roundtrip():
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    n = 256 * KIB
+    sbuf, rbuf = r0.alloc(n), r1.alloc(n)
+    data = bytes(i % 256 for i in range(n))
+    r0.write(sbuf, data)
+
+    def rank0():
+        yield from r0.send(sbuf, n, dest=1, tag=3)
+
+    def rank1():
+        got = yield from r1.recv(rbuf, n, src=0, tag=3)
+        assert got == n
+
+    run_ranks(cluster, [rank0(), rank1()])
+    assert r1.read(rbuf, n) == data
+
+
+def test_any_source_any_tag():
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    n = 4 * KIB
+    sbuf, rbuf = r0.alloc(n), r1.alloc(n)
+    r0.write(sbuf, b"z" * n)
+
+    def rank0():
+        yield from r0.send(sbuf, n, dest=1, tag=17)
+
+    def rank1():
+        yield from r1.recv(rbuf, n, src=ANY_SOURCE, tag=ANY_TAG)
+
+    run_ranks(cluster, [rank0(), rank1()])
+    assert r1.read(rbuf, n) == b"z" * n
+
+
+def test_wildcards_do_not_match_collective_context():
+    """An ANY_SOURCE/ANY_TAG recv must not steal collective-context traffic."""
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    n = 1 * KIB
+    sbuf, rbuf, cbuf = r0.alloc(n), r1.alloc(n), r1.alloc(n)
+    r0.write(sbuf, b"p2p!" * (n // 4))
+
+    def rank0():
+        ctx = r0.next_collective_context()
+        req = yield from r0.isend(sbuf, n, dest=1, tag=0, context=ctx)
+        yield from r0.wait(req)
+        yield from r0.send(sbuf, n, dest=1, tag=5)
+
+    def rank1():
+        ctx = r1.next_collective_context()
+        # Post the wildcard recv FIRST; it must wait for the p2p message.
+        wild = yield from r1.irecv(rbuf, n, src=ANY_SOURCE, tag=ANY_TAG)
+        coll = yield from r1.irecv(cbuf, n, src=0, tag=0, context=ctx)
+        yield from r1.waitall([coll, wild])
+
+    run_ranks(cluster, [rank0(), rank1()])
+
+
+def test_sendrecv_bidirectional():
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    n = 128 * KIB
+    bufs = {r: (rc.alloc(n), rc.alloc(n)) for r, rc in [(0, r0), (1, r1)]}
+    r0.write(bufs[0][0], b"A" * n)
+    r1.write(bufs[1][0], b"B" * n)
+
+    def rank0():
+        yield from r0.sendrecv(bufs[0][0], n, 1, bufs[0][1], n, 1, tag=2)
+
+    def rank1():
+        yield from r1.sendrecv(bufs[1][0], n, 0, bufs[1][1], n, 0, tag=2)
+
+    run_ranks(cluster, [rank0(), rank1()])
+    assert r0.read(bufs[0][1], n) == b"B" * n
+    assert r1.read(bufs[1][1], n) == b"A" * n
+
+
+def test_multiple_ranks_per_host():
+    cluster, comm = make_world(nhosts=2, procs_per_host=2)
+    assert comm.size == 4
+    n = 64 * KIB
+    ranks = comm.ranks()
+    bufs = [(rc.alloc(n), rc.alloc(n)) for rc in ranks]
+    for r, rc in enumerate(ranks):
+        rc.write(bufs[r][0], bytes([r]) * n)
+
+    def ring(rc, sbuf, rbuf):
+        right = (rc.rank + 1) % rc.size
+        left = (rc.rank - 1) % rc.size
+        yield from rc.sendrecv(sbuf, n, right, rbuf, n, left, tag=1)
+
+    run_ranks(cluster, [ring(rc, bufs[r][0], bufs[r][1])
+                        for r, rc in enumerate(ranks)])
+    for r, rc in enumerate(ranks):
+        left = (r - 1) % comm.size
+        assert rc.read(bufs[r][1], n) == bytes([left]) * n
+
+
+def test_failed_request_raises():
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    n = 1 * MIB
+    # Invalid send buffer: raw mmap of one page, region claims 1 MiB.
+    bad = r0.proc.aspace.mmap(4096)
+    rbuf = r1.alloc(n)
+
+    def rank0():
+        with pytest.raises(RuntimeError, match="error"):
+            yield from r0.send(bad, n, dest=1, tag=1)
+
+    def rank1():
+        # The matching recv never completes; just drive progress briefly.
+        yield cluster.env.timeout(1_000_000)
+
+    run_ranks(cluster, [rank0(), rank1()])
+
+
+def test_bad_rank_and_tag_validation():
+    cluster, comm = make_world()
+    r0 = comm.rank(0)
+    buf = r0.alloc(1024)
+
+    def body():
+        with pytest.raises(ValueError):
+            yield from r0.isend(buf, 10, dest=9, tag=0)
+        with pytest.raises(ValueError):
+            yield from r0.isend(buf, 10, dest=1, tag=-1)
+
+    run_ranks(cluster, [body()])
+
+
+def test_communicator_validation():
+    with pytest.raises(ValueError):
+        Communicator([])
+    cluster, comm = make_world()
+    with pytest.raises(ValueError):
+        comm.rank(5)

@@ -1,0 +1,128 @@
+"""Tests for waitany, test and iprobe."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.util.units import KIB, MIB
+
+
+def make_world():
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+    return cluster, Communicator(cluster.all_libs())
+
+
+def run_ranks(cluster, fns):
+    env = cluster.env
+    env.run(until=env.all_of([env.process(fn) for fn in fns]))
+
+
+def test_waitany_returns_first_completed():
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    small, big = 64 * KIB, 4 * MIB
+    sb0, sb1 = r0.alloc(small), r0.alloc(big)
+    rb0, rb1 = r1.alloc(small), r1.alloc(big)
+    r0.write(sb0, b"s" * small)
+    r0.write(sb1, b"b" * big)
+    order = []
+
+    def rank0():
+        # Send the big message first, then the small one: the small one
+        # still completes first at the receiver.
+        q1 = yield from r0.isend(sb1, big, dest=1, tag=2)
+        q0 = yield from r0.isend(sb0, small, dest=1, tag=1)
+        yield from r0.waitall([q0, q1])
+
+    def rank1():
+        reqs = [
+            (yield from r1.irecv(rb1, big, src=0, tag=2)),
+            (yield from r1.irecv(rb0, small, src=0, tag=1)),
+        ]
+        i = yield from r1.waitany(reqs)
+        order.append(i)
+        yield from r1.waitall(reqs)
+
+    run_ranks(cluster, [rank0(), rank1()])
+    assert order == [1]  # the small message's request completed first
+    assert r1.read(rb0, 4) == b"ssss"
+    assert r1.read(rb1, 4) == b"bbbb"
+
+
+def test_waitany_empty_rejected():
+    cluster, comm = make_world()
+    r0 = comm.rank(0)
+
+    def body():
+        with pytest.raises(ValueError):
+            yield from r0.waitany([])
+
+    run_ranks(cluster, [body()])
+
+
+def test_test_is_nonblocking():
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    n = 1 * MIB
+    sbuf, rbuf = r0.alloc(n), r1.alloc(n)
+    r0.write(sbuf, b"t" * n)
+    polls = {"count": 0}
+
+    def rank0():
+        yield from r0.send(sbuf, n, dest=1, tag=1)
+
+    def rank1():
+        req = yield from r1.irecv(rbuf, n, src=0, tag=1)
+        while not (yield from r1.test(req)):
+            polls["count"] += 1
+            yield cluster.env.timeout(20_000)
+
+    run_ranks(cluster, [rank0(), rank1()])
+    assert polls["count"] > 0
+
+
+def test_iprobe_sees_unexpected_message():
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    n = 16 * KIB
+    sbuf, rbuf = r0.alloc(n), r1.alloc(n)
+    r0.write(sbuf, b"p" * n)
+    observed = {}
+
+    def rank0():
+        yield from r0.send(sbuf, n, dest=1, tag=7)
+
+    def rank1():
+        # No recv posted yet; poll until the message shows up unexpected.
+        while not (yield from r1.iprobe(src=0, tag=7)):
+            yield cluster.env.timeout(10_000)
+        observed["probed"] = True
+        # Wrong tag / wrong source must not match.
+        assert not (yield from r1.iprobe(src=0, tag=8))
+        assert not (yield from r1.iprobe(src=1, tag=7))
+        assert (yield from r1.iprobe(src=ANY_SOURCE, tag=ANY_TAG))
+        yield from r1.recv(rbuf, n, src=0, tag=7)
+
+    run_ranks(cluster, [rank0(), rank1()])
+    assert observed["probed"]
+    assert r1.read(rbuf, 4) == b"pppp"
+
+
+def test_iprobe_sees_unexpected_rendezvous():
+    cluster, comm = make_world()
+    r0, r1 = comm.rank(0), comm.rank(1)
+    n = 1 * MIB  # rendezvous path
+    sbuf, rbuf = r0.alloc(n), r1.alloc(n)
+    r0.write(sbuf, b"r" * n)
+
+    def rank0():
+        yield from r0.send(sbuf, n, dest=1, tag=3)
+
+    def rank1():
+        while not (yield from r1.iprobe(src=0, tag=3)):
+            yield cluster.env.timeout(10_000)
+        yield from r1.recv(rbuf, n, src=0, tag=3)
+
+    run_ranks(cluster, [rank0(), rank1()])
+    assert r1.read(rbuf, 4) == b"rrrr"

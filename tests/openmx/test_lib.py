@@ -1,0 +1,206 @@
+"""Unit tests for the user-space library: vectorial sends, truncation,
+test(), zero-length messages, endpoint/driver edge cases."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.openmx import OpenMXConfig, PinningMode, Segment
+from repro.util.units import KIB, MIB
+
+
+def pair(mode=PinningMode.CACHE):
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=mode))
+    return (cluster, cluster.lib(0), cluster.lib(1),
+            cluster.nodes[0].procs[0], cluster.nodes[1].procs[0])
+
+
+def run_both(cluster, a, b):
+    env = cluster.env
+    env.run(until=env.all_of([env.process(a), env.process(b)]))
+
+
+def test_vectorial_send_concatenates_segments():
+    cluster, s, r, sp, rp = pair()
+    seg_sizes = [700 * KIB, 300 * KIB, 1 * MIB]
+    vas = [sp.malloc(n) for n in seg_sizes]
+    parts = [bytes([i + 1]) * n for i, n in enumerate(seg_sizes)]
+    for va, part in zip(vas, parts):
+        sp.write(va, part)
+    total = sum(seg_sizes)
+    rbuf = rp.malloc(total)
+
+    def sender():
+        req = yield from s.isendv(list(zip(vas, seg_sizes)), r.board,
+                                  r.endpoint_id, 5)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, total, 5)
+        yield from r.wait(req)
+
+    run_both(cluster, sender(), receiver())
+    assert rp.read(rbuf, total) == b"".join(parts)
+
+
+def test_vectorial_eager_send():
+    cluster, s, r, sp, rp = pair()
+    vas = [sp.malloc(4 * KIB) for _ in range(3)]
+    for i, va in enumerate(vas):
+        sp.write(va, bytes([i + 10]) * 4 * KIB)
+    rbuf = rp.malloc(12 * KIB)
+
+    def sender():
+        req = yield from s.isendv([(va, 4 * KIB) for va in vas], r.board,
+                                  r.endpoint_id, 6)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, 12 * KIB, 6)
+        yield from r.wait(req)
+
+    run_both(cluster, sender(), receiver())
+    expected = b"".join(bytes([i + 10]) * 4 * KIB for i in range(3))
+    assert rp.read(rbuf, 12 * KIB) == expected
+
+
+def test_truncated_rndv_sets_status():
+    cluster, s, r, sp, rp = pair()
+    sbuf = sp.malloc(2 * MIB)
+    rbuf = rp.malloc(1 * MIB)  # too small
+    sp.write(sbuf, b"t" * (2 * MIB))
+    status = {}
+
+    def sender():
+        req = yield from s.isend(sbuf, 2 * MIB, r.board, r.endpoint_id, 1)
+        # The sender never completes (no pull happens); just poll briefly.
+        yield from s.test(req)
+        yield cluster.env.timeout(1_000_000)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, 1 * MIB, 1)
+        while not req.done:
+            yield from r.test(req)
+            yield cluster.env.timeout(10_000)
+        status["recv"] = req.status
+
+    run_both(cluster, sender(), receiver())
+    assert status["recv"] == "truncated"
+
+
+def test_truncated_eager_sets_status():
+    cluster, s, r, sp, rp = pair()
+    sbuf = sp.malloc(16 * KIB)
+    rbuf = rp.malloc(4 * KIB)
+    sp.write(sbuf, b"e" * (16 * KIB))
+    status = {}
+
+    def sender():
+        req = yield from s.isend(sbuf, 16 * KIB, r.board, r.endpoint_id, 2)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, 4 * KIB, 2)
+        while not req.done:
+            yield from r.test(req)
+            yield cluster.env.timeout(10_000)
+        status["recv"] = req.status
+
+    run_both(cluster, sender(), receiver())
+    assert status["recv"] == "truncated"
+
+
+def test_test_polls_without_blocking():
+    cluster, s, r, sp, rp = pair()
+    n = 512 * KIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    sp.write(sbuf, b"q" * n)
+    polls = {"count": 0}
+
+    def sender():
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, 3)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, n, 3)
+        while not (yield from r.test(req)):
+            polls["count"] += 1
+            yield cluster.env.timeout(20_000)
+
+    run_both(cluster, sender(), receiver())
+    assert polls["count"] > 0
+    assert rp.read(rbuf, n) == b"q" * n
+
+
+def test_shorter_message_into_bigger_buffer_ok():
+    cluster, s, r, sp, rp = pair()
+    sbuf = sp.malloc(1 * MIB)
+    rbuf = rp.malloc(4 * MIB)
+    sp.write(sbuf, b"s" * (1 * MIB))
+    got = {}
+
+    def sender():
+        req = yield from s.isend(sbuf, 1 * MIB, r.board, r.endpoint_id, 4)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, 4 * MIB, 4)
+        yield from r.wait(req)
+        got["len"] = req.received_length
+
+    run_both(cluster, sender(), receiver())
+    assert got["len"] == 1 * MIB
+    assert rp.read(rbuf, 1 * MIB) == b"s" * (1 * MIB)
+
+
+def test_duplicate_endpoint_rejected():
+    cluster, s, r, sp, rp = pair()
+    with pytest.raises(ValueError, match="already open"):
+        cluster.nodes[0].driver.open_endpoint(sp, 0)
+
+
+def test_destroy_unknown_region_raises():
+    cluster, s, r, sp, rp = pair()
+    env = cluster.env
+
+    def body():
+        with pytest.raises(KeyError):
+            yield from sp.syscall(
+                lambda ctx: cluster.nodes[0].driver.destroy_region(ctx, s.ep, 99)
+            )
+        return True
+
+    assert env.run(until=env.process(body()))
+
+
+def test_destroy_active_region_raises():
+    cluster, s, r, sp, rp = pair()
+    env = cluster.env
+    driver = cluster.nodes[0].driver
+
+    def body():
+        va = sp.malloc(1 * MIB)
+
+        def declare(ctx):
+            rid = yield from driver.declare_region(
+                ctx, s.ep, (Segment(va, 1 * MIB),)
+            )
+            return rid
+
+        rid = yield from sp.syscall(declare)
+        region = s.ep.regions[rid]
+        driver.pin_mgr.comm_started(region)
+        with pytest.raises(RuntimeError, match="active"):
+            yield from sp.syscall(
+                lambda ctx: driver.destroy_region(ctx, s.ep, rid)
+            )
+        return True
+
+    assert env.run(until=env.process(body()))
+
+
+def test_endpoint_close_unregisters_notifier():
+    cluster, s, r, sp, rp = pair()
+    assert len(sp.aspace.notifiers) == 1
+    s.ep.close()
+    assert len(sp.aspace.notifiers) == 0
+    assert 0 not in cluster.nodes[0].driver.endpoints

@@ -1,0 +1,77 @@
+"""Tests for endpoint teardown via the library."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.util.units import MIB
+
+
+def test_close_flushes_cache_and_unpins():
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+    env = cluster.env
+    s, r = cluster.lib(0), cluster.lib(1)
+    sp, rp = cluster.nodes[0].procs[0], cluster.nodes[1].procs[0]
+    n = 1 * MIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    sp.write(sbuf, b"c" * n)
+
+    def sender():
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, 1)
+        yield from s.wait(req)
+        yield from s.close()
+
+    def receiver():
+        req = yield from r.irecv(rbuf, n, 1)
+        yield from r.wait(req)
+        yield from r.close()
+
+    env.run(until=env.all_of([env.process(sender()), env.process(receiver())]))
+    assert cluster.nodes[0].host.memory.pinned_frames == 0
+    assert cluster.nodes[1].host.memory.pinned_frames == 0
+    assert len(sp.aspace.notifiers) == 0
+    assert cluster.nodes[0].driver.endpoints == {}
+    assert cluster.nodes[1].driver.endpoints == {}
+
+
+def test_close_with_outstanding_request_raises():
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+    env = cluster.env
+    s, r = cluster.lib(0), cluster.lib(1)
+    sp = cluster.nodes[0].procs[0]
+    n = 1 * MIB
+    sbuf = sp.malloc(n)
+    sp.write(sbuf, b"x" * n)
+
+    def sender():
+        # The rndv send never completes (no matching recv posted).
+        yield from s.isend(sbuf, n, r.board, r.endpoint_id, 1)
+        yield env.timeout(1_000_000)
+        with pytest.raises(RuntimeError, match="outstanding"):
+            yield from s.close()
+        return True
+
+    assert env.run(until=env.process(sender())) is True
+
+
+def test_close_idempotent_regions_after_uncached_traffic():
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.PIN_PER_COMM))
+    env = cluster.env
+    s, r = cluster.lib(0), cluster.lib(1)
+    sp, rp = cluster.nodes[0].procs[0], cluster.nodes[1].procs[0]
+    n = 512 * 1024
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    sp.write(sbuf, b"u" * n)
+
+    def sender():
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, 1)
+        yield from s.wait(req)
+        yield from s.close()
+
+    def receiver():
+        req = yield from r.irecv(rbuf, n, 1)
+        yield from r.wait(req)
+        yield from r.close()
+
+    env.run(until=env.all_of([env.process(sender()), env.process(receiver())]))
+    assert cluster.nodes[0].driver.counters["regions_destroyed"] >= 1

@@ -1,0 +1,74 @@
+"""Property-based tests: allocator invariants under random op sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import PAGE_SIZE, PhysicalMemory
+from repro.kernel import AddressSpace, Malloc
+
+
+class AllocModel:
+    """Executes a random malloc/free trace and checks invariants."""
+
+    def __init__(self):
+        self.aspace = AddressSpace(PhysicalMemory(1 << 26), "prop")
+        self.heap = Malloc(self.aspace)
+        self.live: dict[int, tuple[int, bytes]] = {}
+        self.counter = 0
+
+    def do_malloc(self, size: int) -> None:
+        addr = self.heap.malloc(size)
+        # Invariant: no overlap with any live allocation.
+        for other, (osize, _) in self.live.items():
+            assert addr + size <= other or other + osize <= addr, (
+                f"allocation [{addr:#x}+{size}] overlaps [{other:#x}+{osize}]"
+            )
+        self.counter += 1
+        stamp = self.counter.to_bytes(4, "little") * ((min(size, 64) + 3) // 4)
+        stamp = stamp[: min(size, 64)]
+        self.aspace.write(addr, stamp)
+        self.live[addr] = (size, stamp)
+
+    def do_free(self, index: int) -> None:
+        if not self.live:
+            return
+        addr = sorted(self.live)[index % len(self.live)]
+        del self.live[addr]
+        self.heap.free(addr)
+
+    def check_contents(self) -> None:
+        # Every live allocation still holds its stamp (no aliasing).
+        for addr, (size, stamp) in self.live.items():
+            assert self.aspace.read(addr, len(stamp)) == stamp
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"),
+                      st.integers(min_value=1, max_value=512 * 1024)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=99)),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_allocator_never_aliases_live_blocks(ops):
+    model = AllocModel()
+    for op, arg in ops:
+        if op == "malloc":
+            model.do_malloc(arg)
+        else:
+            model.do_free(arg)
+        model.check_contents()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=2 * 1024 * 1024))
+def test_free_then_malloc_same_size_is_stable(size):
+    model = AllocModel()
+    a1 = model.heap.malloc(size)
+    model.heap.free(a1)
+    a2 = model.heap.malloc(size)
+    # Same-size reallocation reuses the address (arena bin or VA reuse).
+    assert a2 == a1

@@ -1,0 +1,121 @@
+"""Property-based tests: collectives match numpy references for random
+shapes, roots and rank counts."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import build_cluster
+from repro.mpi import Communicator, allgatherv, allreduce, alltoall, bcast, reduce
+from repro.openmx import OpenMXConfig, PinningMode
+
+
+def make_world(nranks):
+    nhosts = 2
+    per_host = (nranks + 1) // 2
+    cluster = build_cluster(nhosts=nhosts, procs_per_host=per_host,
+                            config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+    return cluster, Communicator(cluster.all_libs()[:nranks])
+
+
+def run_ranks(cluster, fns):
+    env = cluster.env
+    env.run(until=env.all_of([env.process(fn) for fn in fns]))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=5),
+    count=st.integers(min_value=1, max_value=20_000),
+    root=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_reduce_matches_numpy(nranks, count, root, seed):
+    root %= nranks
+    cluster, comm = make_world(nranks)
+    rng = np.random.default_rng(seed)
+    vectors = [rng.standard_normal(count) for _ in range(nranks)]
+    n = count * 8
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s, r = rc.alloc(n), rc.alloc(n)
+        rc.write(s, vectors[rc.rank].tobytes())
+        sbufs.append(s)
+        rbufs.append(r)
+    run_ranks(cluster, [reduce(rc, sbufs[rc.rank], rbufs[rc.rank], n, root)
+                        for rc in comm.ranks()])
+    got = np.frombuffer(comm.rank(root).read(rbufs[root], n))
+    # The tree sums in a different association order than numpy; allow for
+    # floating-point reassociation (incl. near-zero cancellation).
+    np.testing.assert_allclose(got, sum(vectors), rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=5),
+    nbytes=st.integers(min_value=1, max_value=300_000),
+    root=st.integers(min_value=0, max_value=4),
+)
+def test_bcast_delivers_everywhere(nranks, nbytes, root):
+    root %= nranks
+    cluster, comm = make_world(nranks)
+    payload = bytes(i % 251 for i in range(nbytes))
+    bufs = []
+    for rc in comm.ranks():
+        buf = rc.alloc(nbytes)
+        if rc.rank == root:
+            rc.write(buf, payload)
+        bufs.append(buf)
+    run_ranks(cluster, [bcast(rc, bufs[rc.rank], nbytes, root)
+                        for rc in comm.ranks()])
+    for rc in comm.ranks():
+        assert rc.read(bufs[rc.rank], nbytes) == payload
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=4),
+    counts_seed=st.integers(min_value=0, max_value=1000),
+)
+def test_allgatherv_assembles_blocks_in_rank_order(nranks, counts_seed):
+    cluster, comm = make_world(nranks)
+    rng = np.random.default_rng(counts_seed)
+    counts = [int(rng.integers(1, 100_000)) for _ in range(nranks)]
+    total = sum(counts)
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s = rc.alloc(counts[rc.rank])
+        r = rc.alloc(total)
+        rc.write(s, bytes([rc.rank + 1]) * counts[rc.rank])
+        sbufs.append(s)
+        rbufs.append(r)
+    run_ranks(cluster, [
+        allgatherv(rc, sbufs[rc.rank], counts[rc.rank], rbufs[rc.rank], counts)
+        for rc in comm.ranks()
+    ])
+    expected = b"".join(bytes([r + 1]) * counts[r] for r in range(nranks))
+    for rc in comm.ranks():
+        assert rc.read(rbufs[rc.rank], total) == expected
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    nranks=st.integers(min_value=2, max_value=4),
+    chunk=st.integers(min_value=1, max_value=100_000),
+)
+def test_alltoall_transposes(nranks, chunk):
+    cluster, comm = make_world(nranks)
+    sbufs, rbufs = [], []
+    for rc in comm.ranks():
+        s, r = rc.alloc(nranks * chunk), rc.alloc(nranks * chunk)
+        rc.write(s, b"".join(
+            bytes([(rc.rank * 7 + d) % 256]) * chunk for d in range(nranks)
+        ))
+        sbufs.append(s)
+        rbufs.append(r)
+    run_ranks(cluster, [alltoall(rc, sbufs[rc.rank], rbufs[rc.rank], chunk)
+                        for rc in comm.ranks()])
+    for rc in comm.ranks():
+        expected = b"".join(
+            bytes([(src * 7 + rc.rank) % 256]) * chunk for src in range(nranks)
+        )
+        assert rc.read(rbufs[rc.rank], nranks * chunk) == expected

@@ -1,0 +1,66 @@
+"""Property-based tests: the transfer protocol under randomized loss and
+randomized message sizes always delivers byte-exact data."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import build_cluster
+from repro.openmx import OpenMXConfig, PinningMode, PullReply, PullRequest
+from repro.util.units import MILLISECOND
+
+
+def run_transfer(cluster, nbytes, seed):
+    env = cluster.env
+    s, r = cluster.lib(0), cluster.lib(1)
+    sp, rp = cluster.nodes[0].procs[0], cluster.nodes[1].procs[0]
+    sbuf, rbuf = sp.malloc(nbytes), rp.malloc(nbytes)
+    data = bytes((i * 131 + seed) % 256 for i in range(nbytes))
+    sp.write(sbuf, data)
+
+    def sender():
+        req = yield from s.isend(sbuf, nbytes, r.board, r.endpoint_id, 1)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, nbytes, 1)
+        yield from r.wait(req)
+
+    done = env.all_of([env.process(sender()), env.process(receiver())])
+    env.run(until=done)
+    assert rp.read(rbuf, nbytes) == data
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nbytes=st.integers(min_value=1, max_value=3 * 1024 * 1024),
+    mode=st.sampled_from(list(PinningMode)),
+    seed=st.integers(min_value=0, max_value=255),
+)
+def test_any_size_any_mode_delivers_exact_bytes(nbytes, mode, seed):
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=mode))
+    run_transfer(cluster, nbytes, seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    drop_mod=st.integers(min_value=2, max_value=19),
+    drop_phase=st.integers(min_value=0, max_value=18),
+    drop_requests=st.booleans(),
+    seed=st.integers(min_value=0, max_value=255),
+)
+def test_periodic_data_loss_never_corrupts(drop_mod, drop_phase,
+                                           drop_requests, seed):
+    cluster = build_cluster(
+        config=OpenMXConfig(pinning_mode=PinningMode.OVERLAP_CACHE,
+                            resend_timeout_ns=5 * MILLISECOND)
+    )
+    counter = {"n": 0}
+    kinds = (PullReply, PullRequest) if drop_requests else (PullReply,)
+
+    def rule(frame):
+        if isinstance(frame.payload, kinds):
+            counter["n"] += 1
+            return counter["n"] % drop_mod == drop_phase % drop_mod
+        return False
+
+    cluster.fabric.drop_rule = rule
+    run_transfer(cluster, 1 * 1024 * 1024 + seed, seed)

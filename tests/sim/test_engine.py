@@ -1,0 +1,313 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100)
+        assert env.now == 100
+        yield env.timeout(50)
+        assert env.now == 150
+        return "done"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "done"
+    assert env.now == 150
+
+
+def test_zero_delay_timeout_runs_same_time():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(0)
+        order.append(tag)
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert order == ["a", "b"]
+    assert env.now == 0
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((env.now, value))
+
+    def firer():
+        yield env.timeout(42)
+        ev.succeed("payload")
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert got == [(42, "payload")]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield ev
+        return "caught"
+
+    def firer():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    p = env.process(waiter())
+    env.process(firer())
+    assert env.run(until=p) == "caught"
+
+
+def test_unhandled_failed_event_crashes_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("explode")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="explode"):
+        env.run()
+
+
+def test_process_failure_propagates_to_waiter():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(5)
+        raise KeyError("inner")
+
+    def outer():
+        with pytest.raises(KeyError):
+            yield env.process(bad())
+        return "survived"
+
+    p = env.process(outer())
+    assert env.run(until=p) == "survived"
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(ValueError())
+
+
+def test_run_until_time_stops_between_events():
+    env = Environment()
+    seen = []
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(10)
+            seen.append(env.now)
+
+    env.process(proc())
+    env.run(until=35)
+    assert env.now == 35
+    assert seen == [10, 20, 30]
+    env.run(until=100)
+    assert seen == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+def test_run_until_past_deadline_rejected():
+    env = Environment()
+    env.timeout(100)
+    env.run(until=50)
+    with pytest.raises(SimulationError):
+        env.run(until=10)
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    def outer():
+        with pytest.raises(SimulationError, match="non-event"):
+            yield env.process(bad())
+        return True
+
+    p = env.process(outer())
+    assert env.run(until=p) is True
+
+
+def test_all_of_waits_for_everything():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(10, value="a")
+        t2 = env.timeout(30, value="b")
+        results = yield env.all_of([t1, t2])
+        assert env.now == 30
+        assert set(results.values()) == {"a", "b"}
+
+    env.run(until=env.process(proc()))
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(10, value="fast")
+        t2 = env.timeout(30, value="slow")
+        results = yield env.any_of([t1, t2])
+        assert env.now == 10
+        assert list(results.values()) == ["fast"]
+        # Drain the second timer so the run ends cleanly.
+        yield t2
+
+    env.run(until=env.process(proc()))
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc():
+        result = yield env.all_of([])
+        assert result == {}
+        return env.now
+
+    assert env.run(until=env.process(proc())) == 0
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def sleeper():
+        try:
+            yield env.timeout(1000)
+        except Interrupt as intr:
+            causes.append((env.now, intr.cause))
+
+    def interrupter(victim):
+        yield env.timeout(7)
+        victim.interrupt(cause="wakeup")
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.run()
+    assert causes == [(7, "wakeup")]
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_rewait_original_event():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        tmo = env.timeout(100, value="late")
+        try:
+            yield tmo
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        value = yield tmo  # the original timer still fires at t=100
+        log.append((value, env.now))
+
+    def interrupter(victim):
+        yield env.timeout(10)
+        victim.interrupt()
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.run()
+    assert log == [("interrupted", 10), ("late", 100)]
+
+
+def test_deterministic_tie_breaking_by_creation_order():
+    env = Environment()
+    order = []
+
+    def proc(tag, delay):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    for tag in ["p0", "p1", "p2", "p3"]:
+        env.process(proc(tag, 5))
+    env.run()
+    assert order == ["p0", "p1", "p2", "p3"]
+
+
+def test_nested_processes_compose():
+    env = Environment()
+
+    def inner(n):
+        yield env.timeout(n)
+        return n * 2
+
+    def outer():
+        a = yield env.process(inner(5))
+        b = yield env.process(inner(7))
+        return a + b
+
+    assert env.run(until=env.process(outer())) == 24
+    assert env.now == 12
+
+
+def test_run_until_event_never_triggered_is_error():
+    env = Environment()
+    ev = env.event()
+    env.timeout(5)
+    with pytest.raises(SimulationError, match="ran out of events"):
+        env.run(until=ev)
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_immediate_value_of_already_processed_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("x")
+
+    def late_waiter():
+        yield env.timeout(10)
+        value = yield ev  # already processed by now
+        return (env.now, value)
+
+    p = env.process(late_waiter())
+    assert env.run(until=p) == (10, "x")

@@ -1,0 +1,128 @@
+"""Edge-case tests for the event engine."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt, SimulationError
+
+
+def test_allof_fails_fast_on_first_failure():
+    env = Environment()
+    slow = env.timeout(100, value="slow")
+    failing = env.event()
+
+    def failer():
+        yield env.timeout(10)
+        failing.fail(RuntimeError("member failed"))
+
+    def waiter():
+        with pytest.raises(RuntimeError, match="member failed"):
+            yield env.all_of([slow, failing])
+        assert env.now == 10
+        yield slow  # drain
+
+    env.process(failer())
+    env.run(until=env.process(waiter()))
+
+
+def test_anyof_with_pre_failed_event():
+    env = Environment()
+    failed = env.event()
+    failed.fail(ValueError("early"))
+    failed._defused = True
+
+    def waiter():
+        yield env.timeout(1)  # let the failure process
+        with pytest.raises(ValueError, match="early"):
+            yield env.any_of([failed, env.timeout(50)])
+        return True
+
+    assert env.run(until=env.process(waiter())) is True
+
+
+def test_interrupt_while_waiting_on_condition():
+    env = Environment()
+    caught = []
+
+    def sleeper():
+        try:
+            yield env.all_of([env.timeout(1000), env.timeout(2000)])
+        except Interrupt as i:
+            caught.append(i.cause)
+
+    def interrupter(victim):
+        yield env.timeout(5)
+        victim.interrupt("now")
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.run()
+    assert caught == ["now"]
+
+
+def test_run_is_not_reentrant():
+    env = Environment()
+
+    def inner():
+        with pytest.raises(SimulationError, match="not reentrant"):
+            env.run(until=10)
+        yield env.timeout(1)
+
+    env.process(inner())
+    env.run()
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(5)
+    env.timeout(20)
+    assert env.peek() == 5
+    env.step()
+    assert env.now == 5
+    assert env.peek() == 20
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_trigger_copies_state():
+    env = Environment()
+    src_ok = env.event().succeed("payload")
+    dst = env.event()
+    dst.trigger(src_ok)
+    assert dst.triggered and dst._value == "payload"
+
+    src_bad = env.event()
+    src_bad.fail(KeyError("k"))
+    src_bad._defused = True
+    dst2 = env.event()
+    dst2.trigger(src_bad)
+    dst2._defused = True
+    assert dst2.triggered and not dst2._ok
+    env.run()
+
+
+def test_many_interleaved_timers_fire_in_order():
+    env = Environment()
+    fired = []
+    for delay in (30, 10, 20, 10, 30):
+        env.process(iter_timer(env, delay, fired))
+    env.run()
+    assert fired == sorted(fired)
+    assert env.now == 30
+
+
+def iter_timer(env, delay, out):
+    yield env.timeout(delay)
+    out.append(env.now)
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(SimulationError, match="needs an exception"):
+        env.event().fail("not an exception")  # type: ignore[arg-type]

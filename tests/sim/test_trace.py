@@ -1,0 +1,57 @@
+"""Unit tests for tracing and counters."""
+
+from repro.sim import Counter, Tracer, summarize
+
+
+def test_tracer_records_and_filters():
+    tr = Tracer()
+    tr.record(10, "nic0", "tx", size=100)
+    tr.record(20, "nic0", "rx", size=100)
+    tr.record(30, "nic1", "tx", size=5)
+    assert len(tr) == 3
+    assert [r.time for r in tr.filter(source="nic0")] == [10, 20]
+    assert tr.filter(event="tx")[-1].detail["size"] == 5
+    assert tr.first("rx").time == 20
+    assert tr.last("tx").time == 30
+
+
+def test_tracer_disabled_records_nothing():
+    tr = Tracer(enabled=False)
+    tr.record(1, "x", "y")
+    assert len(tr) == 0
+
+
+def test_tracer_render_and_clear():
+    tr = Tracer()
+    tr.record(5, "src", "evt", k=1)
+    text = tr.render()
+    assert "src" in text and "evt" in text and "k=1" in text
+    tr.clear()
+    assert len(tr) == 0
+    assert tr.first("evt") is None
+    assert tr.last("evt") is None
+
+
+def test_counter_basics():
+    c = Counter()
+    c.incr("pkt")
+    c.incr("pkt", 4)
+    c.incr("miss")
+    assert c["pkt"] == 5
+    assert c["miss"] == 1
+    assert c["absent"] == 0
+    assert c.ratio("miss", "pkt") == 1 / 5
+    assert c.ratio("miss", "absent") == 0.0
+    assert c.as_dict() == {"pkt": 5, "miss": 1}
+    c.clear()
+    assert c["pkt"] == 0
+
+
+def test_summarize_empty_and_nonempty():
+    assert summarize([])["n"] == 0
+    s = summarize([1.0, 2.0, 3.0])
+    assert s["n"] == 3
+    assert s["mean"] == 2.0
+    assert s["min"] == 1.0
+    assert s["max"] == 3.0
+    assert abs(s["std"] - (2 / 3) ** 0.5) < 1e-12

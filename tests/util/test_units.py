@@ -1,0 +1,59 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    SECOND,
+    fmt_size,
+    fmt_time,
+    gbit_rate_bytes_per_sec,
+    throughput_mib_s,
+    transfer_time_ns,
+)
+
+
+def test_gbit_rate():
+    assert gbit_rate_bytes_per_sec(10.0) == pytest.approx(1.25e9)
+    assert gbit_rate_bytes_per_sec(1.0) == pytest.approx(1.25e8)
+
+
+def test_transfer_time_rounds_up():
+    assert transfer_time_ns(1, 1e9) == 1
+    assert transfer_time_ns(1, 3e9) == 1  # 0.33ns -> 1
+    assert transfer_time_ns(3, 3e9) == 1
+    assert transfer_time_ns(1250, 1.25e9) == 1000
+
+
+def test_transfer_time_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        transfer_time_ns(100, 0)
+    with pytest.raises(ValueError):
+        transfer_time_ns(100, -5)
+
+
+def test_throughput_mib_s():
+    assert throughput_mib_s(MIB, SECOND) == pytest.approx(1.0)
+    assert throughput_mib_s(16 * MIB, SECOND // 2) == pytest.approx(32.0)
+    assert throughput_mib_s(100, 0) == 0.0
+
+
+def test_fmt_size_paper_conventions():
+    assert fmt_size(64 * KIB) == "64kB"
+    assert fmt_size(MIB) == "1MB"
+    assert fmt_size(16 * MIB) == "16MB"
+    assert fmt_size(100) == "100B"
+    assert fmt_size(1536) == "1536B"  # not a clean multiple
+
+
+def test_fmt_time_scales():
+    assert fmt_time(50) == "50ns"
+    assert fmt_time(1500) == "1.50us"
+    assert fmt_time(2_500_000) == "2.500ms"
+    assert fmt_time(3 * SECOND) == "3.000s"
+
+
+def test_constants():
+    assert KIB == 1024 and MIB == 1024**2 and GIB == 1024**3

@@ -1,0 +1,101 @@
+"""Tests for the IMB workload drivers."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.util.units import KIB, MIB
+from repro.workloads import COLLECTIVE_BENCHMARKS, imb_collective, imb_pingpong
+
+
+def test_pingpong_reports_one_way_time():
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+    result = imb_pingpong(cluster, 1 * MIB, iterations=2)
+    assert result.benchmark == "PingPong"
+    assert result.nbytes == 1 * MIB
+    # One-way time for 1MB at ~1GB/s-ish is in the 0.5..3 ms range.
+    assert 500_000 < result.per_iter_ns < 3_000_000
+    assert 300 < result.throughput_mib_s < 1300
+
+
+def test_pingpong_steady_state_excludes_warmup():
+    """With the cache, the warmup iteration absorbs the pin cost, so the
+    measured time matches the permanent-pinning level."""
+    cache = imb_pingpong(
+        build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE)),
+        2 * MIB,
+    )
+    permanent = imb_pingpong(
+        build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.PERMANENT)),
+        2 * MIB,
+    )
+    assert cache.per_iter_ns == pytest.approx(permanent.per_iter_ns, rel=0.02)
+
+
+def test_pingpong_throughput_monotone_in_size():
+    tps = []
+    for size in (64 * KIB, 512 * KIB, 4 * MIB):
+        cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+        tps.append(imb_pingpong(cluster, size, iterations=2).throughput_mib_s)
+    assert tps == sorted(tps)
+
+
+@pytest.mark.parametrize("name", sorted(COLLECTIVE_BENCHMARKS))
+def test_each_collective_benchmark_runs(name):
+    cluster = build_cluster(nhosts=2, procs_per_host=2,
+                            config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+    result = imb_collective(cluster, name, 128 * KIB, iterations=1)
+    assert result.benchmark == name
+    assert result.per_iter_ns > 0
+
+
+def test_unknown_benchmark_rejected():
+    cluster = build_cluster()
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        imb_collective(cluster, "Gatherv", 1024)
+
+
+def test_collective_rank_subset():
+    cluster = build_cluster(nhosts=2, procs_per_host=2)
+    result = imb_collective(cluster, "Broadcast", 64 * KIB, nranks=2,
+                            iterations=1)
+    assert result.per_iter_ns > 0
+
+
+def test_results_are_deterministic():
+    def run():
+        cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.OVERLAP))
+        return imb_pingpong(cluster, 256 * KIB, iterations=3).per_iter_ns
+
+    assert run() == run()
+
+
+def test_pingping_slower_than_pingpong_per_message():
+    from repro.workloads import imb_pingping
+
+    pingpong = imb_pingpong(
+        build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE)),
+        1 * MIB,
+    )
+    pingping = imb_pingping(
+        build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE)),
+        1 * MIB,
+    )
+    # PingPing contends for both the wire (bidirectional) and the BH core,
+    # so one iteration takes longer than a one-way PingPong transfer.
+    assert pingping.per_iter_ns > pingpong.per_iter_ns
+    assert pingping.benchmark == "PingPing"
+
+
+def test_pingping_benefits_from_cache():
+    from repro.workloads import imb_pingping
+
+    regular = imb_pingping(
+        build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.PIN_PER_COMM)),
+        1 * MIB,
+    )
+    cache = imb_pingping(
+        build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE)),
+        1 * MIB,
+    )
+    assert cache.per_iter_ns < regular.per_iter_ns

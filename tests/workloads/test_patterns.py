@@ -1,0 +1,45 @@
+"""Tests for the buffer-reuse pattern workload."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.util.units import KIB, MIB
+from repro.workloads.patterns import run_reuse_pattern
+
+
+def make(mode=PinningMode.CACHE):
+    return build_cluster(config=OpenMXConfig(pinning_mode=mode))
+
+
+def test_full_reuse_hits_cache_every_time_after_first():
+    result = run_reuse_pattern(make(), 512 * KIB, 6, reuse_fraction=1.0)
+    # Counters cover the sending node: one miss (first declaration of the
+    # hot buffer), then pure hits.
+    assert result.cache_misses == 1
+    assert result.cache_hits == 5
+    assert result.invalidations == 0
+
+
+def test_zero_reuse_invalidates_every_fresh_buffer():
+    result = run_reuse_pattern(make(), 512 * KIB, 6, reuse_fraction=0.0)
+    assert result.invalidations >= 5  # each free fires the notifier
+    assert result.throughput_mib_s > 0
+
+
+def test_reuse_fraction_validated():
+    with pytest.raises(ValueError):
+        run_reuse_pattern(make(), 1 * MIB, 2, reuse_fraction=1.5)
+
+
+def test_deterministic_given_seed():
+    a = run_reuse_pattern(make(), 256 * KIB, 8, 0.5, seed=3)
+    b = run_reuse_pattern(make(), 256 * KIB, 8, 0.5, seed=3)
+    assert a.elapsed_ns == b.elapsed_ns
+
+
+def test_works_in_every_mode():
+    for mode in PinningMode:
+        result = run_reuse_pattern(make(mode), 256 * KIB, 4, 0.5)
+        assert result.messages == 4
+        assert result.elapsed_ns > 0
