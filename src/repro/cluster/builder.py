@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.hw.host import Host
 from repro.hw.specs import DEFAULT_IOAT, MYRI_10G, XEON_E5460, CpuSpec, IoatSpec, NicSpec
 from repro.kernel.kernel import Kernel, UserProcess
+from repro.obs.metrics import MetricRegistry, current_registry, resolve_registry
 from repro.openmx.config import OpenMXConfig
 from repro.openmx.driver import OpenMXDriver
 from repro.openmx.lib import OmxLib
@@ -40,6 +41,7 @@ class Cluster:
     nodes: list[Node]
     config: OpenMXConfig
     tracer: Tracer
+    metrics: MetricRegistry | None = None
 
     def lib(self, node: int, proc: int = 0) -> OmxLib:
         return self.nodes[node].libs[proc]
@@ -58,8 +60,10 @@ def build_cluster(
     memory_bytes: int = 2 * GIB,
     fabric_latency_ns: int = 4_000,
     trace: bool = False,
+    trace_capacity: int | None = None,
     bh_core_index: int = 0,
     first_app_core: int | None = None,
+    metrics: MetricRegistry | None = None,
 ) -> Cluster:
     """Build a ready-to-run cluster.
 
@@ -77,12 +81,20 @@ def build_cluster(
     if first_app_core + procs_per_host > cpu.ncores and procs_per_host > 1:
         first_app_core = 0  # fall back to sharing all cores
     env = Environment()
-    tracer = Tracer(enabled=trace)
+    if metrics is None and current_registry() is None:
+        # Nobody is collecting: hand every layer shared no-op metrics so
+        # benchmarks and plain runs pay (almost) nothing for instrumentation.
+        registry = MetricRegistry(enabled=False)
+    else:
+        registry = resolve_registry(metrics)
+    env.metrics = registry
+    tracer = Tracer(enabled=trace, capacity=trace_capacity)
     fabric = Fabric(env, latency_ns=fabric_latency_ns)
     nodes: list[Node] = []
     for h in range(nhosts):
         host = Host(env, f"host{h}", cpu, nic_spec=nic,
-                    memory_bytes=memory_bytes, ioat_spec=ioat)
+                    memory_bytes=memory_bytes, ioat_spec=ioat,
+                    metrics=registry)
         kernel = Kernel(host, bh_core_index=bh_core_index)
         fabric.attach(host.nic)
         driver = OpenMXDriver(kernel, config, tracer=tracer)
@@ -94,4 +106,4 @@ def build_cluster(
             node.libs.append(OmxLib(proc, driver, endpoint_id=p))
         nodes.append(node)
     return Cluster(env=env, fabric=fabric, nodes=nodes, config=config,
-                   tracer=tracer)
+                   tracer=tracer, metrics=registry)

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments --full          # the paper's full size axis
     python -m repro.experiments table1          # one artifact only
     python -m repro.experiments --json out.json # also save machine-readable results
+    python -m repro.experiments --metrics m.json  # dump the obs metric snapshot
+                                                  # (render: python -m repro.obs m.json)
 """
 
 from __future__ import annotations
@@ -34,23 +36,54 @@ from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
 
 
+def _take_path_flag(argv: list[str], flag: str) -> tuple[list[str], str | None]:
+    if flag not in argv:
+        return argv, None
+    idx = argv.index(flag)
+    if idx + 1 >= len(argv):
+        raise SystemExit(f"error: {flag} requires a path")
+    return argv[:idx] + argv[idx + 2:], argv[idx + 1]
+
+
 def main(argv: list[str]) -> int:
+    from repro.obs import MetricRegistry, use_registry, write_snapshot
+
     full = "--full" in argv
-    json_path = None
-    if "--json" in argv:
-        idx = argv.index("--json")
-        if idx + 1 >= len(argv):
-            print("error: --json requires a path", file=sys.stderr)
-            return 2
-        json_path = argv[idx + 1]
-        argv = argv[:idx] + argv[idx + 2:]
+    argv, json_path = _take_path_flag(argv, "--json")
+    argv, metrics_path = _take_path_flag(argv, "--metrics")
     collected: dict[str, object] = {}
-    wanted = {a for a in argv if not a.startswith("-")} or {
+    known = {
         "table1", "figure6", "figure7", "table2", "overlap-miss", "ablations",
         "reuse-sweep", "motivation"
     }
+    # Accept underscores as dash aliases (overlap_miss == overlap-miss).
+    wanted = {a.replace("_", "-") for a in argv if not a.startswith("-")} or known
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"error: unknown artifact(s) {sorted(unknown)}; "
+            f"choose from {sorted(known)}"
+        )
     sizes = FIGURE_SIZES if full else FAST_SIZES
 
+    # Every cluster built below inherits this registry, so one snapshot at
+    # the end covers the whole session's kernels, NICs and drivers.
+    registry = MetricRegistry()
+    with use_registry(registry):
+        _run_wanted(wanted, sizes, collected)
+    if metrics_path is not None:
+        write_snapshot(metrics_path, registry)
+        print(f"(metrics snapshot saved to {metrics_path}; "
+              f"render with: python -m repro.obs {metrics_path})")
+    if json_path is not None:
+        from repro.experiments.runner import save_results
+
+        save_results(json_path, collected)
+        print(f"(results saved to {json_path})")
+    return 0
+
+
+def _run_wanted(wanted: set[str], sizes, collected: dict[str, object]) -> None:
     if "table1" in wanted:
         collected["table1"] = run_table1()
         print(format_table1(collected["table1"]))
@@ -82,6 +115,10 @@ def main(argv: list[str]) -> int:
               f"{over.overloaded_mib_s:.1f} MiB/s (x{over.slowdown:.0f}; "
               f"paper ~x20), {over.overlap_misses} overlap misses, BH core "
               f"{over.bh_core_utilization:.0%} busy")
+        print(f"  pin-wait tail (starved pinner): p50 "
+              f"{over.pin_wait_p50_ns / 1e3:.0f} us, p95 "
+              f"{over.pin_wait_p95_ns / 1e3:.0f} us, p99 "
+              f"{over.pin_wait_p99_ns / 1e3:.0f} us")
         print()
     if "motivation" in wanted:
         collected["motivation"] = run_motivation()
@@ -101,12 +138,6 @@ def main(argv: list[str]) -> int:
         print("Ablation: per-packet overlap descriptor-check cost")
         for p in run_overlap_check_ablation():
             print(f"  {p.label:32s} {p.value:8.1f} MiB/s")
-    if json_path is not None:
-        from repro.experiments.runner import save_results
-
-        save_results(json_path, collected)
-        print(f"(results saved to {json_path})")
-    return 0
 
 
 if __name__ == "__main__":

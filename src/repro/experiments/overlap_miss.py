@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.cluster import build_cluster
 from repro.kernel.context import AcquiringContext
 from repro.openmx import OpenMXConfig, PinningMode
+from repro.sim.trace import summarize
 from repro.util.units import MIB, throughput_mib_s
 from repro.workloads import imb_pingpong
 
@@ -69,6 +70,11 @@ class OverloadResult:
     overloaded_mib_s: float
     overlap_misses: int
     bh_core_utilization: float
+    # Tail of the time submitters spent waiting for their region to finish
+    # pinning (ns, from the drivers' "pin" spans) — the starvation signature.
+    pin_wait_p50_ns: float = 0.0
+    pin_wait_p95_ns: float = 0.0
+    pin_wait_p99_ns: float = 0.0
 
     @property
     def slowdown(self) -> float:
@@ -105,11 +111,14 @@ def run_overloaded_core(nbytes: int = 1 * MIB, iterations: int = 2,
 
     # Overload: three hosts — host0 sends to host1; host1's processes run on
     # the interrupt core; host2 floods host1 with small packets.
+    # Tracing is on (spans record pin waits) but bounded, so the saturated
+    # run cannot grow memory without limit.
     cluster = build_cluster(
         nhosts=3,
         config=OpenMXConfig(pinning_mode=PinningMode.OVERLAP,
                             resend_timeout_ns=20_000_000),
         first_app_core=0,  # the receiving rank shares the BH core
+        trace=True, trace_capacity=4096,
     )
 
     # The flood protocol handler models per-packet network-stack work.
@@ -128,9 +137,19 @@ def run_overloaded_core(nbytes: int = 1 * MIB, iterations: int = 2,
         for node in cluster.nodes
     )
     bh_util = cluster.nodes[1].host.cores[0].utilization()
+    pin_waits = [
+        float(span.duration_ns)
+        for node in cluster.nodes
+        for span in node.driver.spans
+        if span.name == "pin" and span.duration_ns is not None
+    ]
+    wait_stats = summarize(pin_waits)
     return OverloadResult(
         normal_mib_s=normal,
         overloaded_mib_s=result.throughput_mib_s,
         overlap_misses=misses,
         bh_core_utilization=bh_util,
+        pin_wait_p50_ns=wait_stats["p50"],
+        pin_wait_p95_ns=wait_stats["p95"],
+        pin_wait_p99_ns=wait_stats["p99"],
     )

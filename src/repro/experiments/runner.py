@@ -9,6 +9,7 @@ spot across code changes.  The CLI's ``--json PATH`` flag uses it.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
 from pathlib import Path
 from typing import Any
@@ -18,6 +19,11 @@ __all__ = ["compare_results", "load_results", "save_results", "to_jsonable"]
 
 def to_jsonable(obj: Any) -> Any:
     """Recursively convert dataclasses/containers to JSON-ready values."""
+    if isinstance(obj, enum.Enum):
+        # By *name*, not value: names are stable identifiers while values
+        # (often ints or internal strings) can be renumbered freely, and an
+        # IntEnum would otherwise serialize as a bare, meaningless number.
+        return obj.name
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         out = {"__type__": type(obj).__name__}
         for field in dataclasses.fields(obj):

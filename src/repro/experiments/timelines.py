@@ -14,9 +14,10 @@ checked as *assertions* (tests) and printed for humans (examples):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster import build_cluster
+from repro.obs.spans import Span, render_span_tree
 from repro.openmx import OpenMXConfig, PinningMode
 from repro.sim import TraceRecord
 from repro.util.units import MIB
@@ -28,6 +29,9 @@ __all__ = ["TimelineResult", "run_rendezvous_timeline", "run_decoupled_timeline"
 class TimelineResult:
     records: list[TraceRecord]
     counters: dict[str, int]
+    # Driver span trees keyed by board name (span ids are per-driver, so the
+    # trees must not be merged across boards).
+    spans: dict[str, list[Span]] = field(default_factory=dict)
 
     def events(self, source_substr: str = "") -> list[str]:
         return [r.event for r in self.records if source_substr in r.source]
@@ -40,6 +44,23 @@ class TimelineResult:
 
     def render(self) -> str:
         return "\n".join(str(r) for r in self.records)
+
+    def render_spans(self) -> str:
+        """Per-board span trees (rndv → pin / pull[i] → copy / notify)."""
+        sections = []
+        for board, spans in self.spans.items():
+            sections.append(f"== {board} ==\n{render_span_tree(spans)}")
+        return "\n".join(sections)
+
+
+def _collect(cluster) -> tuple[dict[str, int], dict[str, list[Span]]]:
+    counters: dict[str, int] = {}
+    spans: dict[str, list[Span]] = {}
+    for node in cluster.nodes:
+        for k, v in node.driver.counters.as_dict().items():
+            counters[k] = counters.get(k, 0) + v
+        spans[node.driver.board] = node.driver.spans.to_list()
+    return counters, spans
 
 
 def run_rendezvous_timeline(mode: PinningMode,
@@ -62,11 +83,8 @@ def run_rendezvous_timeline(mode: PinningMode,
 
     done = env.all_of([env.process(sender()), env.process(receiver())])
     env.run(until=done)
-    counters = {}
-    for node in cluster.nodes:
-        for k, v in node.driver.counters.as_dict().items():
-            counters[k] = counters.get(k, 0) + v
-    return TimelineResult(list(cluster.tracer.records), counters)
+    counters, spans = _collect(cluster)
+    return TimelineResult(list(cluster.tracer.records), counters, spans)
 
 
 def run_decoupled_timeline(nbytes: int = 2 * MIB) -> TimelineResult:
@@ -112,8 +130,5 @@ def run_decoupled_timeline(nbytes: int = 2 * MIB) -> TimelineResult:
 
     done = env.all_of([env.process(sender()), env.process(receiver())])
     env.run(until=done)
-    counters = {}
-    for node in cluster.nodes:
-        for k, v in node.driver.counters.as_dict().items():
-            counters[k] = counters.get(k, 0) + v
-    return TimelineResult(list(cluster.tracer.records), counters)
+    counters, spans = _collect(cluster)
+    return TimelineResult(list(cluster.tracer.records), counters, spans)

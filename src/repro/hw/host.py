@@ -11,6 +11,7 @@ from repro.hw.ioat import IoatEngine
 from repro.hw.memory import PhysicalMemory
 from repro.hw.nic import Nic
 from repro.hw.specs import DEFAULT_IOAT, MYRI_10G, CpuSpec, IoatSpec, NicSpec
+from repro.obs.metrics import MetricRegistry, resolve_registry
 from repro.sim import Environment
 from repro.util.units import GIB
 
@@ -28,13 +29,15 @@ class Host:
         nic_spec: NicSpec = MYRI_10G,
         memory_bytes: int = 8 * GIB,
         ioat_spec: IoatSpec | None = DEFAULT_IOAT,
+        metrics: MetricRegistry | None = None,
     ):
         self.env = env
         self.name = name
         self.cpu_spec = cpu
+        self.metrics = resolve_registry(metrics)
         self.cores = [CpuCore(env, cpu, name, i) for i in range(cpu.ncores)]
         self.memory = PhysicalMemory(memory_bytes)
-        self.nic = Nic(env, nic_spec, f"{name}/nic0")
+        self.nic = Nic(env, nic_spec, f"{name}/nic0", metrics=self.metrics)
         self.ioat = IoatEngine(env, ioat_spec, name) if ioat_spec else None
         self.kernel = None  # set by repro.kernel.Kernel.__init__
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.hw.specs import NicSpec
+from repro.obs.metrics import MetricRegistry, resolve_registry
 from repro.sim import Environment, Resource, Store
 from repro.util.units import transfer_time_ns
 
@@ -37,7 +38,8 @@ class EthernetFrame:
 class Nic:
     """One Ethernet port: TX serialization, RX ring, interrupt callback."""
 
-    def __init__(self, env: Environment, spec: NicSpec, name: str):
+    def __init__(self, env: Environment, spec: NicSpec, name: str,
+                 metrics: MetricRegistry | None = None):
         self.env = env
         self.spec = spec
         self.name = name
@@ -54,6 +56,28 @@ class Nic:
         self.rx_frames = 0
         self.rx_bytes = 0
         self.rx_ring_drops = 0
+        # Registry mirrors (see docs/observability.md for the catalogue).
+        registry = resolve_registry(metrics)
+        self.metrics = registry
+        lbl = {"nic": name}
+        self._m_tx_frames = registry.counter(
+            "nic_tx_frames", "frames serialized onto the wire",
+            labelnames=("nic",)).labels(**lbl)
+        self._m_tx_bytes = registry.counter(
+            "nic_tx_bytes", "payload bytes transmitted",
+            labelnames=("nic",)).labels(**lbl)
+        self._m_rx_frames = registry.counter(
+            "nic_rx_frames", "frames accepted into the RX ring",
+            labelnames=("nic",)).labels(**lbl)
+        self._m_rx_bytes = registry.counter(
+            "nic_rx_bytes", "payload bytes received",
+            labelnames=("nic",)).labels(**lbl)
+        self._m_rx_drops = registry.counter(
+            "nic_rx_ring_drops", "frames tail-dropped on a full RX ring",
+            labelnames=("nic",)).labels(**lbl)
+        self._m_ring_depth = registry.histogram(
+            "nic_rx_ring_depth", "RX ring occupancy sampled at each arrival",
+            labelnames=("nic",)).labels(**lbl)
 
     # -- wiring ------------------------------------------------------------
     def attach_link(self, link: "LinkPort") -> None:
@@ -82,6 +106,8 @@ class Nic:
             )
         self.tx_frames += 1
         self.tx_bytes += frame.payload_bytes
+        self._m_tx_frames.inc()
+        self._m_tx_bytes.inc(frame.payload_bytes)
         self._link.carry(frame)
 
     def send(self, frame: EthernetFrame):
@@ -94,10 +120,14 @@ class Nic:
         """Called by the link when a frame reaches this port."""
         if self._rx_ring_used >= self.spec.rx_ring_entries:
             self.rx_ring_drops += 1
+            self._m_rx_drops.inc()
             return
         self._rx_ring_used += 1
         self.rx_frames += 1
         self.rx_bytes += frame.payload_bytes
+        self._m_rx_frames.inc()
+        self._m_rx_bytes.inc(frame.payload_bytes)
+        self._m_ring_depth.observe(self._rx_ring_used)
         self.rx_ring.put(frame)
         if self._on_rx is not None:
             self._on_rx()

@@ -20,6 +20,7 @@ from collections.abc import Callable, Generator
 from repro.hw.cpu import PRIO_BH, PRIO_USER, CpuCore
 from repro.hw.nic import EthernetFrame, Nic
 from repro.kernel.context import HeldContext
+from repro.obs.metrics import MetricRegistry, resolve_registry
 from repro.sim import Environment
 
 __all__ = ["SoftirqEngine"]
@@ -44,6 +45,7 @@ class SoftirqEngine:
         nic: Nic,
         dispatch: Callable[[EthernetFrame, HeldContext], Generator],
         budget: int = 64,
+        metrics: MetricRegistry | None = None,
     ):
         self.env = env
         self.core = core
@@ -54,6 +56,23 @@ class SoftirqEngine:
         self.bh_runs = 0
         self.frames_processed = 0
         self.ksoftirqd_rounds = 0
+        registry = resolve_registry(metrics)
+        self.metrics = registry
+        lbl = {"nic": nic.name}
+        self._m_bh_runs = registry.counter(
+            "softirq_bh_runs", "bottom-half activations (core acquisitions)",
+            labelnames=("nic",)).labels(**lbl)
+        self._m_frames = registry.counter(
+            "softirq_frames_processed", "frames drained by the bottom half",
+            labelnames=("nic",)).labels(**lbl)
+        self._m_ksoftirqd = registry.counter(
+            "softirq_ksoftirqd_rounds",
+            "budget exhaustions continued at normal priority (ksoftirqd)",
+            labelnames=("nic",)).labels(**lbl)
+        self._m_backlog = registry.histogram(
+            "softirq_backlog_depth",
+            "RX ring occupancy when the bottom half gets the core",
+            labelnames=("nic",)).labels(**lbl)
 
     def raise_irq(self) -> None:
         """Hardware interrupt: schedule the bottom half if it isn't already."""
@@ -70,6 +89,8 @@ class SoftirqEngine:
             with self.core.request(priority) as req:
                 yield req
                 self.bh_runs += 1
+                self._m_bh_runs.inc()
+                self._m_backlog.observe(self.nic._rx_ring_used)
                 ctx = HeldContext(self.env, self.core, priority)
                 yield from ctx.charge(spec.irq_entry_ns)
                 for _ in range(self.budget):
@@ -78,6 +99,7 @@ class SoftirqEngine:
                         drained = True
                         break
                     self.frames_processed += 1
+                    self._m_frames.inc()
                     yield from ctx.charge(spec.bh_per_packet_ns)
                     yield from self.dispatch(frame, ctx)
                 else:
@@ -89,4 +111,5 @@ class SoftirqEngine:
                 return
             # Budget exhausted: continue as ksoftirqd at normal priority.
             self.ksoftirqd_rounds += 1
+            self._m_ksoftirqd.inc()
             priority = PRIO_USER

@@ -33,11 +33,16 @@ class Kernel:
         self.env = host.env
         self.host = host
         host.kernel = self
-        self.pin = PinService() if pin_fraction is None else PinService(pin_fraction)
+        self.metrics = host.metrics
+        self.pin = PinService(
+            *(() if pin_fraction is None else (pin_fraction,)),
+            metrics=self.metrics, host=host.name,
+        )
         self.ethernet = EthernetLayer(host.nic)
         self.bh_core = host.cores[bh_core_index]
         self.softirq = SoftirqEngine(
-            self.env, self.bh_core, host.nic, self.ethernet.dispatch_rx
+            self.env, self.bh_core, host.nic, self.ethernet.dispatch_rx,
+            metrics=self.metrics,
         )
         host.nic.set_rx_callback(self.softirq.raise_irq)
         self._processes: list[UserProcess] = []

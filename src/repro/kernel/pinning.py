@@ -18,6 +18,7 @@ from collections.abc import Generator
 from repro.hw.cpu import PRIO_KERNEL, CpuCore
 from repro.hw.memory import PAGE_SIZE, Frame, OutOfMemory
 from repro.kernel.address_space import AddressSpace, BadAddress
+from repro.obs.metrics import MetricRegistry, resolve_registry
 
 __all__ = ["PinError", "PinService", "PIN_FRACTION"]
 
@@ -33,7 +34,8 @@ class PinError(Exception):
 class PinService:
     """Pins and unpins user pages on behalf of drivers."""
 
-    def __init__(self, pin_fraction: float = PIN_FRACTION):
+    def __init__(self, pin_fraction: float = PIN_FRACTION,
+                 metrics: MetricRegistry | None = None, host: str = ""):
         if not 0.0 < pin_fraction < 1.0:
             raise ValueError(f"pin_fraction must be in (0,1), got {pin_fraction}")
         self.pin_fraction = pin_fraction
@@ -41,6 +43,28 @@ class PinService:
         self.unpins = 0
         self.pages_pinned = 0
         self.pin_failures = 0
+        registry = resolve_registry(metrics)
+        self.metrics = registry
+        lbl = {"host": host}
+        self._m_pin_latency = registry.histogram(
+            "kernel_pin_latency_ns",
+            "get_user_pages latency per pin call (fault + pin references)",
+            labelnames=("host",)).labels(**lbl)
+        self._m_unpin_latency = registry.histogram(
+            "kernel_unpin_latency_ns", "unpin latency per unpin call",
+            labelnames=("host",)).labels(**lbl)
+        self._m_pinned_pages = registry.gauge(
+            "kernel_pinned_pages", "pages currently holding a pin reference",
+            labelnames=("host",)).labels(**lbl)
+        self._m_pin_failures = registry.counter(
+            "kernel_pin_failures", "pin calls that failed (bad range / OOM)",
+            labelnames=("host",)).labels(**lbl)
+
+    def account_unpin(self, nframes: int) -> None:
+        """Bookkeeping for unpins performed by callers that charge their own
+        CPU time (PinManager's deferred-unpin and reclaim paths)."""
+        self.unpins += 1
+        self._m_pinned_pages.dec(nframes)
 
     # -- cost model ---------------------------------------------------------
     def pin_cost_ns(self, core: CpuCore, npages: int) -> int:
@@ -88,9 +112,11 @@ class PinService:
             # The paper: declaration of an invalid segment succeeds, but the
             # pin fails at communication time and the request aborts.
             self.pin_failures += 1
+            self._m_pin_failures.inc()
             raise PinError(
                 f"range {start:#x}+{npages}p not mapped in {aspace.name}"
             )
+        t_start = core.env.now
 
         frames: list[Frame] = []
         base = self.pin_base_ns(core)
@@ -109,6 +135,7 @@ class PinService:
                 frame = aspace.pin_page(start + i * PAGE_SIZE)
                 frames.append(frame)
                 self.pages_pinned += 1
+                self._m_pinned_pages.inc()
                 if on_page is not None:
                     on_page(i, frame)
         except (BadAddress, OutOfMemory) as exc:
@@ -116,8 +143,10 @@ class PinService:
             if frames:
                 yield from self.unpin_user_pages(core, aspace, frames, priority)
             self.pin_failures += 1
+            self._m_pin_failures.inc()
             raise PinError(str(exc)) from exc
         self.pins += 1
+        self._m_pin_latency.observe(core.env.now - t_start)
         return frames
 
     def pin_pages_batched(
@@ -147,6 +176,7 @@ class PinService:
         """
         mine: list[Frame] = []
         idx = start_index
+        t_start = core.env.now
         try:
             if charge_base:
                 yield from core.execute(self.pin_base_ns(core), priority)
@@ -166,6 +196,7 @@ class PinService:
                     mine.append(frame)
                     batch.append(frame)
                     self.pages_pinned += 1
+                    self._m_pinned_pages.inc()
                 idx += n
                 if on_batch is not None:
                     on_batch(batch)
@@ -178,8 +209,10 @@ class PinService:
             if still_pinned:
                 yield from self.unpin_user_pages(core, aspace, still_pinned, priority)
             self.pin_failures += 1
+            self._m_pin_failures.inc()
             raise PinError(str(exc)) from exc
         self.pins += 1
+        self._m_pin_latency.observe(core.env.now - t_start)
         return idx - start_index
 
     def unpin_user_pages(
@@ -192,11 +225,13 @@ class PinService:
         """Process: drop pin references on ``frames``, charging unpin time."""
         if not frames:
             return
+        t_start = core.env.now
         cost = self.unpin_cost_ns(core, len(frames))
         yield from core.execute(cost, priority)
         for frame in frames:
             aspace.unpin_frame(frame)
-        self.unpins += 1
+        self.account_unpin(len(frames))
+        self._m_unpin_latency.observe(core.env.now - t_start)
 
     def unpin_now(self, aspace: AddressSpace, frames: list[Frame]) -> None:
         """Instantaneous unpin used from MMU-notifier context.
@@ -207,4 +242,4 @@ class PinService:
         """
         for frame in frames:
             aspace.unpin_frame(frame)
-        self.unpins += 1
+        self.account_unpin(len(frames))

@@ -1,0 +1,12 @@
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # Piping into `head`/`grep -m` closes stdout early; exit quietly the
+        # way well-behaved Unix filters do instead of dumping a traceback.
+        sys.stderr.close()
+        raise SystemExit(141)

@@ -1,0 +1,123 @@
+"""Snapshot exporters: JSON, CSV and Prometheus text exposition.
+
+A *snapshot* is the JSON-ready dict :meth:`MetricRegistry.snapshot`
+returns (schema ``repro.obs/v1``).  Everything here is pure formatting —
+no I/O except :func:`write_snapshot` / :func:`load_snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricRegistry
+
+__all__ = [
+    "load_snapshot",
+    "snapshot_to_csv",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "write_snapshot",
+]
+
+SCHEMA = "repro.obs/v1"
+
+
+def _as_snapshot(source: "MetricRegistry | dict[str, Any]") -> dict[str, Any]:
+    snap = source.snapshot() if isinstance(source, MetricRegistry) else source
+    if snap.get("schema") != SCHEMA:
+        raise ValueError(f"not a {SCHEMA} snapshot: schema={snap.get('schema')!r}")
+    return snap
+
+
+def snapshot_to_json(source: "MetricRegistry | dict[str, Any]",
+                     indent: int = 2) -> str:
+    return json.dumps(_as_snapshot(source), indent=indent, sort_keys=True)
+
+
+def snapshot_to_csv(source: "MetricRegistry | dict[str, Any]") -> str:
+    """One row per scalar: ``metric,kind,labels,field,value``."""
+    snap = _as_snapshot(source)
+    lines = ["metric,kind,labels,field,value"]
+
+    def emit(name: str, kind: str, labels: dict[str, str],
+             fieldname: str, value: Any) -> None:
+        label_s = ";".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        lines.append(f"{name},{kind},{label_s},{fieldname},{value}")
+
+    for name, fam in snap["metrics"].items():
+        for sample in fam["samples"]:
+            labels = sample["labels"]
+            if fam["kind"] in ("counter", "gauge"):
+                emit(name, fam["kind"], labels, "value", sample["value"])
+            else:
+                for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+                    emit(name, "histogram", labels, key, sample[key])
+                for bound, n in sample["buckets"].items():
+                    emit(name, "histogram", labels, f"bucket_le_{bound}", n)
+    return "\n".join(lines) + "\n"
+
+
+def _prom_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, v) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def snapshot_to_prometheus(source: "MetricRegistry | dict[str, Any]") -> str:
+    """Prometheus text exposition format (cumulative histogram buckets)."""
+    snap = _as_snapshot(source)
+    lines: list[str] = []
+    for name, fam in snap["metrics"].items():
+        if fam.get("help"):
+            lines.append(f"# HELP {name} {fam['help']}")
+        lines.append(f"# TYPE {name} {fam['kind']}")
+        for sample in fam["samples"]:
+            labels = sample["labels"]
+            if fam["kind"] in ("counter", "gauge"):
+                lines.append(f"{name}{_prom_labels(labels)} {sample['value']}")
+                continue
+            cumulative = 0
+            for bound in sorted(sample["buckets"], key=int):
+                cumulative += sample["buckets"][bound]
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(labels, (('le', bound),))} {cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, (('le', '+Inf'),))} "
+                f"{sample['count']}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {sample['sum']}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {sample['count']}")
+    return "\n".join(lines) + "\n"
+
+
+_FORMATTERS = {
+    "json": snapshot_to_json,
+    "csv": snapshot_to_csv,
+    "prom": snapshot_to_prometheus,
+}
+
+
+def write_snapshot(path: str | Path,
+                   source: "MetricRegistry | dict[str, Any]",
+                   fmt: str | None = None) -> Path:
+    """Write a snapshot; format from ``fmt`` or the path suffix (.json
+    default, .csv, .prom/.txt for Prometheus text)."""
+    path = Path(path)
+    if fmt is None:
+        suffix = path.suffix.lstrip(".").lower()
+        fmt = {"csv": "csv", "prom": "prom", "txt": "prom"}.get(suffix, "json")
+    if fmt not in _FORMATTERS:
+        raise ValueError(f"unknown snapshot format {fmt!r}")
+    path.write_text(_FORMATTERS[fmt](source))
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Load a JSON snapshot written by :func:`write_snapshot`."""
+    return _as_snapshot(json.loads(Path(path).read_text()))

@@ -1,0 +1,67 @@
+"""Bounded ring buffer — the storage primitive for traces and spans.
+
+Long simulations (hours of simulated traffic, millions of packets) must be
+able to run with tracing enabled without growing memory without bound.  A
+:class:`RingBuffer` keeps the most recent ``capacity`` items and counts how
+many older ones it overwrote, so consumers can tell a complete record from
+a truncated one.
+
+``capacity=None`` degrades to an unbounded list, which keeps the default
+behaviour of small scripted scenarios (timeline figures, unit tests) exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity FIFO that overwrites the oldest item when full."""
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._head = 0  # index of the oldest item once the buffer wrapped
+        self.pushed = 0  # total appends over the buffer's lifetime
+
+    def append(self, item: Any) -> None:
+        self.pushed += 1
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        # Full: overwrite the oldest slot and advance the head.
+        self._items[self._head] = item
+        self._head = (self._head + 1) % self.capacity
+
+    @property
+    def dropped(self) -> int:
+        """Number of items overwritten since creation (0 while unbounded)."""
+        return self.pushed - len(self._items)
+
+    def to_list(self) -> list[Any]:
+        """The retained items, oldest first."""
+        if self._head == 0:
+            return list(self._items)
+        return self._items[self._head:] + self._items[:self._head]
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._head = 0
+        self.pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.to_list())
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"<RingBuffer {len(self._items)}/{cap} dropped={self.dropped}>"

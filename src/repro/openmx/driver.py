@@ -26,6 +26,8 @@ from repro.hw.memory import PAGE_SIZE
 from repro.hw.nic import EthernetFrame
 from repro.kernel.context import AcquiringContext, ExecContext
 from repro.kernel.kernel import Kernel, UserProcess
+from repro.obs.metrics import CounterShim, MetricRegistry
+from repro.obs.spans import Span, SpanTracker
 from repro.openmx.config import OpenMXConfig, PinningMode
 from repro.openmx.events import (
     RecvEagerEvent,
@@ -44,7 +46,7 @@ from repro.openmx.wire import (
     PullRequest,
     Rndv,
 )
-from repro.sim import Counter, Environment, Event, Store, Tracer
+from repro.sim import Environment, Event, Store, Tracer
 
 __all__ = ["DriverEndpoint", "OpenMXDriver"]
 
@@ -58,6 +60,7 @@ class _SendState:
     dst_board: str
     dst_endpoint: int
     done: bool = False
+    span: Span | None = None
 
 
 @dataclass
@@ -87,6 +90,8 @@ class _PullState:
     done: bool = False
     done_event: Event | None = None
     progress_marker: int = 0  # for the fallback retransmit timer
+    span: Span | None = None
+    block_spans: dict[int, Span] = field(default_factory=dict)
 
     def chunk_range(self, chunk: int) -> tuple[int, int]:
         off = chunk * self.chunk_bytes
@@ -190,13 +195,33 @@ class OpenMXDriver:
     """One host's Open-MX driver instance."""
 
     def __init__(self, kernel: Kernel, config: OpenMXConfig,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 metrics: MetricRegistry | None = None,
+                 span_capacity: int | None = 4096):
         self.kernel = kernel
         self.env: Environment = kernel.env
         self.config = config
         self.board = kernel.host.nic.address
-        self.counters = Counter()
+        # Observability: counters are a thin shim over the host's metric
+        # registry (the local dict stays authoritative, so per-driver reads
+        # like ``driver.counters["overlap_miss_recv"]`` remain exact); spans
+        # record one tree per rendezvous when tracing is on.
+        self.metrics = metrics if metrics is not None else kernel.metrics
+        host_name = kernel.host.name
+        self.counters = CounterShim(self.metrics, prefix="omx_", host=host_name)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.spans = SpanTracker(capacity=span_capacity,
+                                 enabled=self.tracer.enabled)
+        mode = config.pinning_mode.value
+        pin_wait = self.metrics.histogram(
+            "omx_pin_wait_ns",
+            "time a request waited for its region pin, by side and mode",
+            labelnames=("host", "mode", "side"), sample_capacity=512,
+        )
+        self._m_pin_wait_send = pin_wait.labels(host=host_name, mode=mode,
+                                                side="send")
+        self._m_pin_wait_recv = pin_wait.labels(host=host_name, mode=mode,
+                                                side="recv")
         self.pin_mgr = PinManager(self.env, kernel, config, self.counters)
         self.endpoints: dict[int, DriverEndpoint] = {}
         from repro.kernel.ethernet import ETH_P_OMX
@@ -314,6 +339,8 @@ class OpenMXDriver:
         region = ep.regions[rid]
         seq = ep.next_seq()
         state = _SendState(seq, region, dst_board, dst_endpoint)
+        state.span = self.spans.begin("rndv", self.env.now, side="send",
+                                      seq=seq, bytes=region.total_length)
         ep.sends[seq] = state
         self.pin_mgr.comm_started(region)
         rndv = Rndv(
@@ -335,13 +362,15 @@ class OpenMXDriver:
                     return seq
             yield from self._xmit(ctx, dst_board, rndv)
             self.trace(ep, "send_rndv", seq=seq, overlapped=True)
-            ok = yield from self.pin_mgr.acquire_pinned(ctx, region)
+            ok = yield from self._acquire_pinned_timed(ctx, state.span,
+                                                      region, "send")
             if not ok:
                 yield from self._abort_send(ctx, ep, state)
                 return seq
             self.trace(ep, "send_pinned", seq=seq)
         else:
-            ok = yield from self.pin_mgr.acquire_pinned(ctx, region)
+            ok = yield from self._acquire_pinned_timed(ctx, state.span,
+                                                      region, "send")
             if not ok:
                 yield from self._abort_send(ctx, ep, state)
                 return seq
@@ -350,9 +379,25 @@ class OpenMXDriver:
             self.trace(ep, "send_rndv", seq=seq, overlapped=False)
         return seq
 
+    def _acquire_pinned_timed(self, ctx: ExecContext, parent: Span | None,
+                              region: UserRegion, side: str) -> Generator:
+        """acquire_pinned wrapped in a ``pin`` span + pin-wait histogram."""
+        start = self.env.now
+        pin_span = self.spans.begin("pin", start, parent=parent,
+                                    pages=region.npages)
+        ok = yield from self.pin_mgr.acquire_pinned(ctx, region)
+        self.spans.end(pin_span, self.env.now, ok=ok)
+        if ok:
+            hist = (self._m_pin_wait_send if side == "send"
+                    else self._m_pin_wait_recv)
+            hist.observe(self.env.now - start)
+        return ok
+
     def _abort_send(self, ctx: ExecContext, ep: DriverEndpoint,
                     state: _SendState) -> Generator:
         state.done = True
+        if state.span is not None:
+            self.spans.end(state.span, self.env.now, status="error")
         del ep.sends[state.seq]
         yield from self.pin_mgr.comm_done(ctx, state.region)
         ep.post_event(SendLargeDone(seq=state.seq, status="error"))
@@ -382,6 +427,8 @@ class OpenMXDriver:
         state.last_request_ns = [-1] * nchunks
         state.nblocks = (nchunks + block_chunks - 1) // block_chunks
         state.done_event = self.env.event()
+        state.span = self.spans.begin("rndv", self.env.now, side="recv",
+                                      handle=handle, bytes=rndv.msg_length)
         ep.pulls[handle] = state
         self.pin_mgr.comm_started(region)
 
@@ -399,7 +446,8 @@ class OpenMXDriver:
             yield from self._request_initial_blocks(ctx, ep, state)
             self.env.process(self._pull_fallback_timer(ep, state),
                              name=f"omx.pulltimer.{handle}")
-            ok = yield from self.pin_mgr.acquire_pinned(ctx, region)
+            ok = yield from self._acquire_pinned_timed(ctx, state.span,
+                                                      region, "recv")
             if not ok and not state.done:
                 yield from self._finish_pull(ctx, ep, state, status="error")
                 return handle
@@ -411,7 +459,8 @@ class OpenMXDriver:
                 yield from self._rerequest_chunks(ctx, ep, state, recover)
             return handle
         else:
-            ok = yield from self.pin_mgr.acquire_pinned(ctx, region)
+            ok = yield from self._acquire_pinned_timed(ctx, state.span,
+                                                      region, "recv")
             if not ok:
                 yield from self._finish_pull(ctx, ep, state, status="error")
                 return handle
@@ -437,6 +486,11 @@ class OpenMXDriver:
         for c in range(lo_chunk, hi_chunk):
             state.last_request_ns[c] = self.env.now
         state.requested_chunks = max(state.requested_chunks, hi_chunk)
+        if self.spans.enabled and block not in state.block_spans:
+            state.block_spans[block] = self.spans.begin(
+                f"pull[{block}]", self.env.now, parent=state.span,
+                offset=offset, length=length,
+            )
         pkt = PullRequest(
             src_board=self.board, src_endpoint=ep.id,
             dst_endpoint=state.src_endpoint, handle=state.handle,
@@ -647,6 +701,12 @@ class OpenMXDriver:
             self.counters.incr("pull_reply_duplicate")
             return
         # Copy into the user region: CPU memcpy in BH context, or I/OAT.
+        block_span = state.block_spans.get(chunk_idx // state.block_chunks)
+        copy_span = self.spans.begin(
+            "copy", self.env.now,
+            parent=block_span if block_span is not None else state.span,
+            offset=pkt.offset, bytes=len(pkt.data),
+        )
         if cfg.use_ioat and self.kernel.host.ioat is not None:
             yield from ctx.charge(self.kernel.host.ioat.spec.submit_ns)
             state.region.write(pkt.offset, pkt.data)
@@ -656,6 +716,7 @@ class OpenMXDriver:
         else:
             yield from ctx.memcpy(len(pkt.data))
             state.region.write(pkt.offset, pkt.data)
+        self.spans.end(copy_span, self.env.now)
         state.received[chunk_idx] = True
         state.bytes_received += len(pkt.data)
         self.counters.incr("pull_bytes", len(pkt.data))
@@ -671,9 +732,13 @@ class OpenMXDriver:
             yield from self._rerequest_chunks(ctx, ep, state, sorted(missing))
 
         block = chunk_idx // state.block_chunks
-        if state.block_complete(block) and state.next_block < state.nblocks:
-            yield from self._request_block(ctx, ep, state, state.next_block)
-            state.next_block += 1
+        if state.block_complete(block):
+            bspan = state.block_spans.pop(block, None)
+            if bspan is not None:
+                self.spans.end(bspan, self.env.now)
+            if state.next_block < state.nblocks:
+                yield from self._request_block(ctx, ep, state, state.next_block)
+                state.next_block += 1
 
         if state.bytes_received >= state.length:
             self.env.process(self._complete_pull(ep, state),
@@ -692,13 +757,17 @@ class OpenMXDriver:
             dst_endpoint=state.src_endpoint, handle=state.handle,
             sender_region=state.sender_region, seq=state.sender_seq,
         )
+        nspan = self.spans.begin("notify", self.env.now, parent=state.span)
         yield from self._xmit(ctx, state.src_board, notify)
+        self.spans.end(nspan, self.env.now)
         self.trace(ep, "notify_sent", handle=state.handle)
         yield from self._finish_pull(ctx, ep, state, status="ok")
 
     def _finish_pull(self, ctx: ExecContext, ep: DriverEndpoint,
                      state: _PullState, status: str) -> Generator:
         state.done = True
+        if state.span is not None:
+            self.spans.end(state.span, self.env.now, status=status)
         if state.done_event is not None and not state.done_event.triggered:
             state.done_event.succeed()
         ep.pulls.pop(state.handle, None)
@@ -715,6 +784,8 @@ class OpenMXDriver:
             return
         state.done = True
         del ep.sends[pkt.seq]
+        if state.span is not None:
+            self.spans.end(state.span, self.env.now, status="ok")
         self.trace(ep, "notify_received", seq=pkt.seq)
         # Unpin (policy-dependent) as deferred kernel work on the app core,
         # so the bottom half is not blocked by unpin cost.

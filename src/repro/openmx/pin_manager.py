@@ -238,7 +238,7 @@ class PinManager:
         yield from ctx.charge(cost)
         for frame in frames:
             region.aspace.unpin_frame(frame)
-        self.kernel.pin.unpins += 1
+        self.kernel.pin.account_unpin(len(frames))
         self._pinned_idle.pop(region.id, None)
         self.counters.incr("region_unpinned")
 
@@ -258,7 +258,7 @@ class PinManager:
                 yield from core.execute(cost, priority)
                 for frame in frames:
                     victim.aspace.unpin_frame(frame)
-                self.kernel.pin.unpins += 1
+                self.kernel.pin.account_unpin(len(frames))
             self._pinned_idle.pop(victim.id, None)
             self.counters.incr("reclaim_unpinned")
 

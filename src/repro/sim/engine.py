@@ -17,6 +17,7 @@ The engine is a small, deterministic SimPy-like kernel:
 from __future__ import annotations
 
 import heapq
+import time as _time
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
@@ -322,6 +323,13 @@ class Environment:
         self._queue: list[tuple[int, int, Event]] = []
         self._eid = 0
         self._active = False
+        # Engine-level observability: plain attributes so the hot path stays
+        # cheap; run() mirrors deltas into `metrics` (a repro.obs
+        # MetricRegistry, duck-typed to keep this module dependency-free)
+        # when one is attached.
+        self.events_processed = 0
+        self.wall_time_s = 0.0
+        self.metrics = None
 
     @property
     def now(self) -> int:
@@ -360,6 +368,7 @@ class Environment:
         """Process exactly one event."""
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:
@@ -388,6 +397,9 @@ class Environment:
                     f"until={deadline} is in the past (now={self._now})"
                 )
         self._active = True
+        wall_start = _time.perf_counter()
+        events_start = self.events_processed
+        now_start = self._now
         try:
             while self._queue:
                 if stop_event is not None and stop_event.processed:
@@ -398,6 +410,19 @@ class Environment:
                 self.step()
         finally:
             self._active = False
+            wall = _time.perf_counter() - wall_start
+            self.wall_time_s += wall
+            if self.metrics is not None:
+                m = self.metrics
+                m.counter("sim_events_processed",
+                          "events executed by the simulation engine").inc(
+                    self.events_processed - events_start)
+                m.counter("sim_time_ns",
+                          "simulated nanoseconds elapsed across run() calls").inc(
+                    self._now - now_start)
+                m.counter("sim_wall_time_us",
+                          "host wall-clock microseconds spent inside run()").inc(
+                    int(wall * 1e6))
         if stop_event is not None:
             if not stop_event.triggered:
                 raise SimulationError(

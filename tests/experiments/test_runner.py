@@ -27,7 +27,8 @@ def test_to_jsonable_handles_dataclasses_and_enums():
                        "data": b"\x01\x02"})
     assert out["row"]["__type__"] == "Table1Row"
     assert out["row"]["ghz"] == 3.16
-    assert out["mode"] == "cache"
+    # Enums serialize by *name* (stable identifier), not by value.
+    assert out["mode"] == "CACHE"
     assert out["data"] == "0102"
 
 

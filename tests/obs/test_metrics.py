@@ -1,0 +1,202 @@
+"""Registry, labels, counter/gauge semantics, histogram bucketing and
+percentiles, null metrics, merge, and the CounterShim."""
+
+import pytest
+
+from repro.obs.metrics import (
+    CounterShim,
+    MetricRegistry,
+    _bucket_bound,
+    current_registry,
+    resolve_registry,
+    use_registry,
+)
+
+
+# -- bucketing ----------------------------------------------------------------
+
+def test_log2_bucket_bounds():
+    assert _bucket_bound(0) == 1
+    assert _bucket_bound(1) == 1
+    assert _bucket_bound(2) == 2
+    assert _bucket_bound(3) == 4
+    assert _bucket_bound(4) == 4
+    assert _bucket_bound(5) == 8
+    assert _bucket_bound(1024) == 1024
+    assert _bucket_bound(1025) == 2048
+
+
+def test_histogram_buckets_cover_observations():
+    reg = MetricRegistry()
+    h = reg.histogram("lat")
+    for v in [1, 2, 3, 100, 5000]:
+        h.observe(v)
+    sample = h._default.sample()
+    assert sample["count"] == 5
+    assert sample["sum"] == 5106
+    assert sum(sample["buckets"].values()) == 5
+    assert sample["buckets"]["1"] == 1  # the observation of 1
+    assert sample["buckets"]["2"] == 1
+    assert sample["buckets"]["4"] == 1  # 3 lands in (2, 4]
+    assert sample["buckets"]["128"] == 1  # 100 lands in (64, 128]
+    assert sample["buckets"]["8192"] == 1  # 5000 lands in (4096, 8192]
+
+
+# -- percentiles --------------------------------------------------------------
+
+def test_percentiles_exact_while_samples_retained():
+    reg = MetricRegistry()
+    h = reg.histogram("lat", sample_capacity=100)
+    for v in range(1, 101):  # 1..100
+        h.observe(v)
+    assert h.percentile(50) == 50.0
+    assert h.percentile(95) == 95.0
+    assert h.percentile(99) == 99.0
+    assert h.percentile(100) == 100.0
+    assert h.percentile(0) == 1.0
+
+
+def test_percentiles_from_buckets_after_eviction():
+    reg = MetricRegistry()
+    h = reg.histogram("lat", sample_capacity=4)  # forces eviction
+    for v in range(1, 101):
+        h.observe(v)
+    # Bucket interpolation: approximate but ordered and clamped to [min, max].
+    p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+    assert 1 <= p50 <= p95 <= p99 <= 100
+    assert 32 <= p50 <= 64  # rank 50 falls in the (32, 64] bucket
+
+
+def test_percentile_summary_shape_and_empty_safety():
+    reg = MetricRegistry()
+    h = reg.histogram("lat")
+    empty = h.summary()
+    assert empty == {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                     "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    h.observe(10)
+    s = h.summary()
+    assert s["n"] == 1 and s["min"] == 10.0 and s["max"] == 10.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+# -- families and labels ------------------------------------------------------
+
+def test_counter_labels_are_independent_children():
+    reg = MetricRegistry()
+    fam = reg.counter("rx", labelnames=("nic",))
+    fam.labels(nic="a").inc(3)
+    fam.labels(nic="b").inc(4)
+    assert fam.labels(nic="a").value == 3
+    assert fam.value == 7  # family value sums children
+    labels = {tuple(l.items()) for l, _ in fam.children()}
+    assert labels == {(("nic", "a"),), (("nic", "b"),)}
+
+
+def test_wrong_label_names_raise():
+    reg = MetricRegistry()
+    fam = reg.counter("rx", labelnames=("nic",))
+    with pytest.raises(ValueError):
+        fam.labels(host="a")
+    with pytest.raises(ValueError):
+        fam.inc()  # labeled family has no anonymous child
+
+
+def test_counters_reject_negative_and_gauges_move_both_ways():
+    reg = MetricRegistry()
+    c = reg.counter("c")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    g = reg.gauge("g")
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 3
+    g.set(10)
+    assert g.value == 10
+
+
+def test_registry_deduplicates_and_rejects_mismatches():
+    reg = MetricRegistry()
+    a = reg.counter("x", labelnames=("h",))
+    b = reg.counter("x", labelnames=("h",))
+    assert a is b
+    with pytest.raises(ValueError):
+        reg.gauge("x")  # kind mismatch
+    with pytest.raises(ValueError):
+        reg.counter("x", labelnames=("other",))  # labelname mismatch
+    assert "x" in reg
+    assert reg.get("missing") is None
+
+
+def test_disabled_registry_hands_out_noop_metrics():
+    reg = MetricRegistry(enabled=False)
+    c = reg.counter("c")
+    h = reg.histogram("h", labelnames=("x",))
+    c.inc()
+    h.labels(x="1").observe(5)
+    assert c.value == 0
+    assert h.percentile(99) == 0.0
+    assert reg.snapshot()["metrics"] == {}
+
+
+# -- merge --------------------------------------------------------------------
+
+def test_merge_sums_counters_and_merges_histograms():
+    a, b = MetricRegistry(), MetricRegistry()
+    for reg, amount in ((a, 2), (b, 5)):
+        reg.counter("c", labelnames=("h",)).labels(h="x").inc(amount)
+        hist = reg.histogram("lat")
+        hist.observe(amount)
+        reg.gauge("g").set(amount)
+    a.merge(b)
+    assert a.get("c").labels(h="x").value == 7
+    merged = a.get("lat")
+    assert merged.count == 2
+    assert merged._default.min == 2 and merged._default.max == 5
+    assert a.get("g").value == 5  # gauge takes the merged-in value
+
+
+# -- active-registry plumbing -------------------------------------------------
+
+def test_use_registry_installs_and_restores_default():
+    assert current_registry() is None
+    mine = MetricRegistry()
+    with use_registry(mine):
+        assert current_registry() is mine
+        assert resolve_registry(None) is mine
+        explicit = MetricRegistry()
+        assert resolve_registry(explicit) is explicit
+    assert current_registry() is None
+    # With nothing installed, each resolve gives a fresh private registry.
+    assert resolve_registry(None) is not resolve_registry(None)
+
+
+# -- CounterShim --------------------------------------------------------------
+
+def test_counter_shim_local_dict_and_registry_mirror():
+    reg = MetricRegistry()
+    shim = CounterShim(reg, prefix="omx_", host="host0")
+    shim.incr("overlap_miss_recv")
+    shim.incr("overlap_miss_recv", 2)
+    shim.incr("pull_bytes", 4096)
+    assert shim["overlap_miss_recv"] == 3
+    assert shim["unknown"] == 0
+    assert shim.as_dict() == {"overlap_miss_recv": 3, "pull_bytes": 4096}
+    assert reg.get("omx_overlap_miss_recv").labels(host="host0").value == 3
+    assert reg.get("omx_pull_bytes").labels(host="host0").value == 4096
+    assert shim.ratio("overlap_miss_recv", "pull_bytes") == 3 / 4096
+    assert shim.ratio("overlap_miss_recv", "nothing") == 0.0
+    # clear() resets the local view; the registry stays monotonic.
+    shim.clear()
+    assert shim.as_dict() == {}
+    assert reg.get("omx_overlap_miss_recv").labels(host="host0").value == 3
+
+
+def test_two_shims_sharing_a_registry_stay_locally_exact():
+    reg = MetricRegistry()
+    a = CounterShim(reg, host="host0")
+    b = CounterShim(reg, host="host0")  # same labels: registry sums both
+    a.incr("x", 1)
+    b.incr("x", 2)
+    assert a["x"] == 1 and b["x"] == 2
+    assert reg.get("omx_x").labels(host="host0").value == 3

@@ -1,0 +1,56 @@
+"""Ring buffer semantics: bounded eviction, unbounded growth, accounting."""
+
+from repro.obs.ring import RingBuffer
+
+
+def test_unbounded_keeps_everything():
+    ring = RingBuffer(None)
+    for i in range(100):
+        ring.append(i)
+    assert len(ring) == 100
+    assert ring.dropped == 0
+    assert ring.to_list() == list(range(100))
+
+
+def test_bounded_evicts_oldest_first():
+    ring = RingBuffer(4)
+    for i in range(10):
+        ring.append(i)
+    assert len(ring) == 4
+    assert ring.to_list() == [6, 7, 8, 9]
+    assert ring.dropped == 6
+    assert ring.pushed == 10
+
+
+def test_wraparound_ordering_at_every_fill_level():
+    for n in range(1, 12):
+        ring = RingBuffer(5)
+        for i in range(n):
+            ring.append(i)
+        assert ring.to_list() == list(range(max(0, n - 5), n)), n
+
+
+def test_iteration_matches_to_list():
+    ring = RingBuffer(3)
+    for i in range(7):
+        ring.append(i)
+    assert list(ring) == ring.to_list() == [4, 5, 6]
+
+
+def test_clear_resets_contents_but_is_reusable():
+    ring = RingBuffer(2)
+    ring.append(1)
+    ring.append(2)
+    ring.append(3)
+    ring.clear()
+    assert len(ring) == 0
+    assert not ring
+    ring.append(9)
+    assert ring.to_list() == [9]
+
+
+def test_truthiness():
+    ring = RingBuffer(2)
+    assert not ring
+    ring.append(0)
+    assert ring
