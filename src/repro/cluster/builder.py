@@ -89,7 +89,7 @@ def build_cluster(
         registry = resolve_registry(metrics)
     env.metrics = registry
     tracer = Tracer(enabled=trace, capacity=trace_capacity)
-    fabric = Fabric(env, latency_ns=fabric_latency_ns)
+    fabric = Fabric(env, latency_ns=fabric_latency_ns, metrics=registry)
     nodes: list[Node] = []
     for h in range(nhosts):
         host = Host(env, f"host{h}", cpu, nic_spec=nic,

@@ -2,19 +2,38 @@
 
 A :class:`Fabric` is a full-duplex switch: every attached NIC can reach every
 other by address.  Each direction of each port pair has an independent
-propagation+switching latency, and an optional deterministic drop rule for
-loss-injection tests (the MXoE protocol must survive drops — they are its
-overlap-miss recovery mechanism).
+propagation+switching latency, plus a chain of pluggable *fault injectors*
+(loss, duplication, reordering — see :mod:`repro.faults.models`) for
+robustness tests: the MXoE protocol must survive drops — they are its
+overlap-miss recovery mechanism.
+
+A fault injector is any object with ``on_frame(frame, now) -> FrameVerdict |
+None``; ``None`` means "no opinion, deliver normally".  Injectors are
+consulted in order; the first one that drops wins, while duplication and
+extra delay accumulate across the chain.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.hw.nic import EthernetFrame, Nic
+from repro.obs.metrics import MetricRegistry, resolve_registry
 from repro.sim import Environment
 
-__all__ = ["Fabric"]
+__all__ = ["Fabric", "FrameVerdict"]
+
+
+@dataclass
+class FrameVerdict:
+    """What a fault injector wants done with one frame."""
+
+    drop: bool = False
+    drop_reason: str = "fault"
+    duplicate: bool = False
+    extra_delay_ns: int = 0
 
 
 class _Port:
@@ -29,16 +48,28 @@ class _Port:
 
 
 class Fabric:
-    """A cut-through switch with per-hop latency and injectable loss."""
+    """A cut-through switch with per-hop latency and injectable faults."""
 
-    def __init__(self, env: Environment, latency_ns: int = 1_000):
+    def __init__(self, env: Environment, latency_ns: int = 1_000,
+                 metrics: MetricRegistry | None = None):
         self.env = env
         self.latency_ns = latency_ns
         self._nics: dict[str, Nic] = {}
-        # Optional drop rule: called per frame, True means drop.
-        self.drop_rule: Callable[[EthernetFrame], bool] | None = None
+        self._drop_rule: Callable[[EthernetFrame], bool] | None = None
+        self.fault_injectors: list = []
         self.frames_carried = 0
         self.frames_dropped = 0
+        registry = resolve_registry(metrics)
+        self.metrics = registry
+        self._m_carried = registry.counter(
+            "fabric_frames_carried", "frames the switch forwarded")
+        self._m_dropped = registry.counter(
+            "fabric_frames_dropped", "frames the switch dropped, by cause",
+            labelnames=("reason",))
+        self._m_duplicated = registry.counter(
+            "fabric_frames_duplicated", "extra frame copies injected")
+        self._m_delayed = registry.counter(
+            "fabric_frames_delayed", "frames delivered with injected delay")
 
     def attach(self, nic: Nic) -> None:
         if nic.address in self._nics:
@@ -46,21 +77,71 @@ class Fabric:
         self._nics[nic.address] = nic
         nic.attach_link(_Port(self, nic))
 
+    # -- fault injection -----------------------------------------------------
+    @property
+    def drop_rule(self) -> Callable[[EthernetFrame], bool] | None:
+        """Deprecated: a bare per-frame drop predicate.
+
+        Superseded by :attr:`fault_injectors` / :meth:`add_fault_injector`
+        (which also support duplication, delay, and injection accounting).
+        Still honoured, before the injector chain, so old tests keep working.
+        """
+        return self._drop_rule
+
+    @drop_rule.setter
+    def drop_rule(self, rule: Callable[[EthernetFrame], bool] | None) -> None:
+        if rule is not None:
+            warnings.warn(
+                "Fabric.drop_rule is deprecated; use add_fault_injector() "
+                "with a fault model from repro.faults.models instead",
+                DeprecationWarning, stacklevel=2,
+            )
+        self._drop_rule = rule
+
+    def add_fault_injector(self, injector) -> None:
+        self.fault_injectors.append(injector)
+
+    def clear_fault_injectors(self) -> None:
+        self.fault_injectors.clear()
+
+    # -- forwarding ----------------------------------------------------------
+    def _drop(self, reason: str) -> None:
+        self.frames_dropped += 1
+        self._m_dropped.labels(reason=reason).inc()
+
     def _carry(self, src_nic: Nic, frame: EthernetFrame) -> None:
-        if self.drop_rule is not None and self.drop_rule(frame):
-            self.frames_dropped += 1
+        if self._drop_rule is not None and self._drop_rule(frame):
+            self._drop("drop_rule")
             return
+        copies = 1
+        extra_delay = 0
+        for injector in self.fault_injectors:
+            verdict = injector.on_frame(frame, self.env.now)
+            if verdict is None:
+                continue
+            if verdict.drop:
+                self._drop(verdict.drop_reason)
+                return
+            if verdict.duplicate:
+                copies += 1
+            extra_delay += verdict.extra_delay_ns
         dst = self._nics.get(frame.dst)
         if dst is None:
-            self.frames_dropped += 1
+            self._drop("no_route")
             return
         self.frames_carried += 1
+        self._m_carried.inc()
+        if copies > 1:
+            self._m_duplicated.inc(copies - 1)
+        if extra_delay > 0:
+            self._m_delayed.inc()
 
         def deliver():
-            yield self.env.timeout(self.latency_ns)
+            yield self.env.timeout(self.latency_ns + extra_delay)
             dst.deliver(frame)
 
-        self.env.process(deliver(), name="fabric.deliver")
+        for _ in range(copies):
+            self.env.process(deliver(), name="fabric.deliver")
 
     def addresses(self) -> list[str]:
         return list(self._nics)

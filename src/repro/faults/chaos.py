@@ -1,0 +1,313 @@
+"""Chaos harness: seeded fault storms against a live two-node cluster.
+
+``run_chaos(seed, steps)`` builds a cluster, applies ``FaultPlan.sample(seed)``
+(network loss/reordering/duplication, RX-ring pressure, transient pin
+failures), runs a randomized message workload (eager and rendezvous sizes,
+both directions, occasional concurrency) while a VM-pressure process swaps
+out, COW-duplicates, migrates, and remaps the communication buffers —
+driving mid-transfer MMU-notifier invalidations — and then verifies the
+protocol invariants (liveness, payload integrity, pin accounting).
+
+Everything is a pure function of the seed: the run also produces a SHA-256
+digest of the full event trace, so two runs of the same seed must match
+bit-for-bit — the determinism guarantee the simulation engine makes.
+
+CLI::
+
+    python -m repro.faults.chaos --seed 7 --steps 40
+    python -m repro.faults.chaos --seeds 0 50 --steps 20 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+
+from repro.cluster.builder import build_cluster
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricRegistry
+from repro.openmx.config import OpenMXConfig, PinningMode
+from repro.util.units import KIB, MILLISECOND
+
+__all__ = ["ChaosResult", "run_chaos"]
+
+# Message-size ladder: two eager classes, three rendezvous classes.
+SIZES = (2_000, 16_000, 48 * KIB, 160_000, 512 * KIB)
+POOL_BUFFERS = 3  # communication buffers per node, reused round-robin
+STEP_BUDGET_NS = 100 * MILLISECOND  # worst-case per step with give-ups
+
+
+@dataclass
+class ChaosResult:
+    seed: int
+    steps: int
+    mode: str
+    finished: bool
+    elapsed_ns: int
+    transfers_ok: int
+    transfers_degraded: int  # terminal but not "ok" (timeout/error)
+    injections: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+    digest: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "steps": self.steps,
+            "mode": self.mode,
+            "finished": self.finished,
+            "elapsed_ns": self.elapsed_ns,
+            "transfers_ok": self.transfers_ok,
+            "transfers_degraded": self.transfers_degraded,
+            "injections": dict(self.injections),
+            "violations": [str(v) for v in self.violations],
+            "digest": self.digest,
+        }
+
+
+def _pattern(nbytes: int, salt: int) -> bytes:
+    """Cheap per-transfer byte pattern, distinct across salts."""
+    block = bytes((i + salt) % 256 for i in range(256))
+    return (block * (nbytes // 256 + 1))[:nbytes]
+
+
+@dataclass
+class _Buffer:
+    node: int
+    va: int
+    size: int
+    busy: bool = False
+
+
+def run_chaos(seed: int, steps: int, mode: PinningMode | None = None,
+              plan: FaultPlan | None = None) -> ChaosResult:
+    """One seeded chaos run; returns the result without raising."""
+    rng = random.Random(seed * 2654435761 + 1)
+    if mode is None:
+        mode = list(PinningMode)[seed % len(PinningMode)]
+    config = OpenMXConfig(
+        pinning_mode=mode,
+        resend_timeout_ns=2 * MILLISECOND,
+        max_resend_rounds=4,
+    )
+    registry = MetricRegistry()
+    cluster = build_cluster(config=config, trace=True, trace_capacity=None,
+                            metrics=registry)
+    if plan is None:
+        plan = FaultPlan.sample(seed)
+    applied = plan.apply(cluster)
+    checker = InvariantChecker(cluster)
+    env = cluster.env
+
+    pools: list[list[_Buffer]] = []
+    for n, node in enumerate(cluster.nodes):
+        proc = node.procs[0]
+        pools.append([
+            _Buffer(n, proc.malloc(max(SIZES)), max(SIZES))
+            for _ in range(POOL_BUFFERS)
+        ])
+
+    completed: list[tuple[str, object]] = []  # (label, request)
+    state = {"done": False, "step": 0}
+
+    def one_transfer(step: int, idx: int, src: int, dst: int,
+                     nbytes: int, tag: int):
+        sbuf = pools[src][(step + idx) % POOL_BUFFERS]
+        rbuf = pools[dst][(step + idx) % POOL_BUFFERS]
+        sbuf.busy = rbuf.busy = True
+        sl, rl = cluster.lib(src), cluster.lib(dst)
+        sp = cluster.nodes[src].procs[0]
+        rp = cluster.nodes[dst].procs[0]
+        data = _pattern(nbytes, step * 31 + seed)
+        sp.write(sbuf.va, data)
+        label = f"step{step}.{idx} {src}->{dst} {nbytes}B tag{tag}"
+        pair: dict[str, object] = {}
+
+        def sender():
+            req = yield from sl.isend(sbuf.va, nbytes, rl.board,
+                                      rl.endpoint_id, tag)
+            pair["send"] = req
+            yield from sl.wait(req)
+            completed.append((f"send {label}", req))
+
+        def receiver():
+            req = yield from rl.irecv(rbuf.va, nbytes, tag)
+            pair["recv"] = req
+            yield from rl.wait(req)
+            completed.append((f"recv {label}", req))
+            if req.status == "ok":
+                checker.check_payload(rp, rbuf.va, data, f"recv {label}")
+
+        def transfer():
+            both = env.all_of([env.process(sender(), name=f"chaos.s{tag}"),
+                               env.process(receiver(), name=f"chaos.r{tag}")])
+            yield env.any_of([both, env.timeout(STEP_BUDGET_NS)])
+            if not both.triggered:
+                # Pair-level recovery: MX keeps no connection state, so a
+                # sender that gave up never tells the receiver.  Drain the
+                # sender's event queue (an eager failure arrives after the
+                # request already completed locally), then — if and only if
+                # the send failed terminally — cancel the orphaned unmatched
+                # recv.  Anything else still stuck here is a real liveness
+                # bug and rides to the global deadline.
+                yield from sl.progress()
+                sreq, rreq = pair.get("send"), pair.get("recv")
+                if (sreq is not None and sreq.done and sreq.status != "ok"
+                        and rreq is not None):
+                    rl.cancel(rreq)
+                yield both
+            sbuf.busy = rbuf.busy = False
+
+        return env.process(transfer(), name=f"chaos.t{tag}")
+
+    def workload():
+        for step in range(steps):
+            state["step"] = step
+            src = rng.randrange(2)
+            batch = [(src, 1 - src)]
+            if rng.random() < 0.3:
+                batch.append((1 - src, src))  # concurrent opposite direction
+            procs = []
+            for idx, (a, b) in enumerate(batch):
+                nbytes = rng.choice(SIZES)
+                tag = step * 4 + idx + 1
+                procs.append(one_transfer(step, idx, a, b, nbytes, tag))
+            yield env.all_of(procs)
+        state["done"] = True
+
+    def vm_pressure():
+        if plan.vm_pressure_period_ns <= 0:
+            return
+        vp_rng = random.Random(seed * 7919 + 13)
+        while not state["done"]:
+            yield env.timeout(plan.vm_pressure_period_ns)
+            if state["done"]:
+                return
+            node = vp_rng.randrange(2)
+            buf = pools[node][vp_rng.randrange(POOL_BUFFERS)]
+            proc = cluster.nodes[node].procs[0]
+            if buf.busy:
+                # Mid-transfer: swap-out is always legal — it fires the MMU
+                # notifiers (cancelling/deferring pins) but skips pinned
+                # frames, so in-flight data survives.
+                proc.aspace.swap_out(buf.va, buf.size)
+            else:
+                op = vp_rng.randrange(4)
+                if op == 0:
+                    proc.aspace.swap_out(buf.va, buf.size)
+                elif op == 1:
+                    proc.aspace.cow_duplicate(buf.va, buf.size)
+                elif op == 2:
+                    proc.aspace.migrate(buf.va, buf.size)
+                else:
+                    # free + same-size malloc: the classic address-reuse
+                    # pattern that stale pinning caches corrupt on.
+                    proc.free(buf.va)
+                    buf.va = proc.malloc(buf.size)
+
+    done_ev = env.process(workload(), name="chaos.workload")
+    env.process(vm_pressure(), name="chaos.vm")
+    deadline = steps * 2 * STEP_BUDGET_NS + 500 * MILLISECOND
+    env.run(until=env.any_of([done_ev, env.timeout(deadline)]))
+    checker.check_workload_finished(
+        state["done"],
+        f"workload stuck at step {state['step']}/{steps} after "
+        f"{env.now} ns (deadline {deadline} ns)",
+    )
+
+    if state["done"]:
+        # Drain remaining timers (bounded by design), then tear down and
+        # audit the pin accounting.
+        env.run()
+        for req_label, req in completed:
+            checker.check_request_terminal(req, req_label)
+        for n, lib in enumerate(cluster.all_libs()):
+            checker.check_endpoint_quiescent(lib, f"node{n}")
+
+        def teardown():
+            for lib in cluster.all_libs():
+                yield from lib.close()
+
+        env.run(until=env.process(teardown(), name="chaos.teardown"))
+        env.run()
+        checker.check_pin_accounting()
+
+    ok = sum(1 for _, r in completed if r.status == "ok")
+    degraded = sum(1 for _, r in completed
+                   if r.done and r.status != "ok")
+
+    digest = hashlib.sha256()
+    digest.update(f"now={env.now} seed={seed} mode={mode.value}\n".encode())
+    for label, req in sorted(completed, key=lambda c: c[0]):
+        digest.update(f"{label} status={req.status}\n".encode())
+    for node in cluster.nodes:
+        counts = sorted(node.driver.counters.as_dict().items())
+        digest.update(f"{node.host.name} {counts}\n".encode())
+    for rec in cluster.tracer.records:
+        digest.update(
+            f"{rec.time}|{rec.source}|{rec.event}|"
+            f"{sorted(rec.detail.items())}\n".encode()
+        )
+
+    return ChaosResult(
+        seed=seed, steps=steps, mode=mode.value, finished=state["done"],
+        elapsed_ns=env.now, transfers_ok=ok, transfers_degraded=degraded,
+        injections=applied.injection_counts(),
+        violations=list(checker.violations),
+        digest=digest.hexdigest(),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.chaos",
+        description="Seeded chaos runs with protocol invariant checking.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="single seed to run (default 0)")
+    parser.add_argument("--seeds", type=int, nargs=2, metavar=("LO", "HI"),
+                        help="run every seed in [LO, HI)")
+    parser.add_argument("--steps", type=int, default=20,
+                        help="workload steps per seed (default 20)")
+    parser.add_argument("--mode", choices=[m.value for m in PinningMode],
+                        help="pin mode (default: rotates by seed)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON object per seed")
+    args = parser.parse_args(argv)
+
+    seeds = range(*args.seeds) if args.seeds else [args.seed]
+    mode = PinningMode(args.mode) if args.mode else None
+    failures = 0
+    for seed in seeds:
+        result = run_chaos(seed, args.steps, mode=mode)
+        if args.json:
+            print(json.dumps(result.as_dict()))
+        else:
+            verdict = "CLEAN" if result.clean else "VIOLATIONS"
+            print(f"seed={result.seed:4d} mode={result.mode:13s} "
+                  f"ok={result.transfers_ok:3d} "
+                  f"degraded={result.transfers_degraded:2d} "
+                  f"injected={sum(result.injections.values()):5d} "
+                  f"{verdict}")
+            for v in result.violations:
+                print(f"    {v}")
+        if not result.clean:
+            failures += 1
+    if failures:
+        print(f"{failures}/{len(list(seeds))} seed(s) violated invariants",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Protocol invariant checking for fault-injected runs.
+
+The checker encodes what must hold *no matter which faults fired*:
+
+* **liveness** — every submitted communication reaches a terminal status
+  ("ok", "timeout", "error", "truncated") before the simulation deadline;
+  a request left pending is a hang, the bug class the bounded retransmit
+  loops exist to prevent;
+* **integrity** — a receive that reports "ok" delivered byte-exact data;
+* **pin accounting** — after the endpoints are torn down no pinned pages
+  remain, no orphan frames leak, and every pin was matched by exactly one
+  unpin (``PhysicalMemory.account_unpin`` raises on double-unpin during the
+  run; the checker verifies the end-state balance).
+
+Violations are collected, not raised, so a chaos sweep reports every broken
+invariant of a seed at once; ``assert_clean`` turns them into a test failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InvariantChecker", "Violation"]
+
+TERMINAL_STATUSES = frozenset({"ok", "timeout", "error", "truncated",
+                               "cancelled"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    invariant: str  # "liveness" | "integrity" | "pin_accounting"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"[{self.invariant}] {self.detail}"
+
+
+class InvariantChecker:
+    """Accumulates invariant violations for one cluster run."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.violations: list[Violation] = []
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        self.violations.append(Violation(invariant, detail))
+
+    # -- liveness ------------------------------------------------------------
+    def check_request_terminal(self, req, label: str) -> None:
+        """The request must be done with a recognized terminal status."""
+        if not req.done:
+            self._fail("liveness", f"{label}: request never completed "
+                                   f"(status={req.status!r})")
+        elif req.status not in TERMINAL_STATUSES:
+            self._fail("liveness", f"{label}: non-terminal status "
+                                   f"{req.status!r} on a done request")
+
+    def check_workload_finished(self, finished: bool, detail: str) -> None:
+        if not finished:
+            self._fail("liveness", detail)
+
+    # -- integrity -------------------------------------------------------------
+    def check_payload(self, proc, va: int, expected: bytes,
+                      label: str) -> None:
+        """An "ok" receive must have delivered byte-exact data."""
+        got = proc.read(va, len(expected))
+        if got != expected:
+            first_bad = next(
+                (i for i, (g, e) in enumerate(zip(got, expected)) if g != e),
+                -1,
+            )
+            self._fail("integrity",
+                       f"{label}: payload mismatch ({len(expected)} B, "
+                       f"first bad byte at offset {first_bad})")
+
+    # -- pin accounting ----------------------------------------------------------
+    def check_pin_accounting(self) -> None:
+        """After teardown: no pinned pages, no orphans, balanced counts."""
+        for node in self.cluster.nodes:
+            mem = node.host.memory
+            host = node.host.name
+            if mem.pinned_frames != 0:
+                self._fail("pin_accounting",
+                           f"{host}: {mem.pinned_frames} pages still pinned "
+                           f"after teardown")
+            for frame in mem.iter_used():
+                if frame.pin_count != 0:
+                    self._fail("pin_accounting",
+                               f"{host}: frame {frame.pfn} pin_count="
+                               f"{frame.pin_count} after teardown")
+                    break
+            for proc in node.procs:
+                if proc.aspace.orphan_count != 0:
+                    self._fail("pin_accounting",
+                               f"{host}/{proc.aspace.name}: "
+                               f"{proc.aspace.orphan_count} orphan frames "
+                               f"leaked")
+
+    def check_endpoint_quiescent(self, lib, label: str) -> None:
+        """No driver-side protocol state may outlive the workload."""
+        ep = lib.ep
+        if ep.sends:
+            self._fail("liveness",
+                       f"{label}: {len(ep.sends)} send(s) still open "
+                       f"(seqs {sorted(ep.sends)})")
+        if ep.pulls:
+            self._fail("liveness",
+                       f"{label}: {len(ep.pulls)} pull(s) still open "
+                       f"(handles {sorted(ep.pulls)})")
+        if ep.eager_tx:
+            self._fail("liveness",
+                       f"{label}: {len(ep.eager_tx)} eager send(s) still "
+                       f"awaiting ack")
+
+    # -- reporting ----------------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            lines = "\n".join(str(v) for v in self.violations)
+            raise AssertionError(
+                f"{len(self.violations)} invariant violation(s):\n{lines}"
+            )

@@ -47,6 +47,10 @@ class Nic:
         self._tx = Resource(env, capacity=1, name=f"{name}/tx")
         self.rx_ring: Store = Store(env, name=f"{name}/rxring")
         self._rx_ring_used = 0
+        # Fault injection: phantom-occupied RX descriptors.  A positive value
+        # shrinks the effective ring, forcing tail drops under load without
+        # touching the spec (see repro.faults.models.RingPressure).
+        self.ring_pressure = 0
         self._link: "LinkPort | None" = None
         self._on_rx: Callable[[], None] | None = None
         self._txseq = 0
@@ -118,7 +122,7 @@ class Nic:
     # -- receive -----------------------------------------------------------
     def deliver(self, frame: EthernetFrame) -> None:
         """Called by the link when a frame reaches this port."""
-        if self._rx_ring_used >= self.spec.rx_ring_entries:
+        if self._rx_ring_used + self.ring_pressure >= self.spec.rx_ring_entries:
             self.rx_ring_drops += 1
             self._m_rx_drops.inc()
             return

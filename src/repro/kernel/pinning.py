@@ -43,6 +43,10 @@ class PinService:
         self.unpins = 0
         self.pages_pinned = 0
         self.pin_failures = 0
+        # Fault injection: an object with ``pin_delay_ns(npages) -> int``
+        # (extra CPU charged before the pin) and ``pin_should_fail() -> bool``
+        # (transient ENOMEM: the attempt rolls back and raises PinError).
+        self.fault_hook = None
         registry = resolve_registry(metrics)
         self.metrics = registry
         lbl = {"host": host}
@@ -130,6 +134,12 @@ class PinService:
 
         try:
             yield from charge(base)
+            if self.fault_hook is not None:
+                extra = self.fault_hook.pin_delay_ns(npages)
+                if extra > 0:
+                    yield from charge(extra)
+                if self.fault_hook.pin_should_fail():
+                    raise OutOfMemory("injected transient pin failure")
             for i in range(npages):
                 yield from charge(per_page)
                 frame = aspace.pin_page(start + i * PAGE_SIZE)
@@ -185,6 +195,12 @@ class PinService:
                 if should_abort is not None and should_abort():
                     return idx - start_index
                 n = min(batch_pages, len(page_vas) - idx)
+                if self.fault_hook is not None:
+                    extra = self.fault_hook.pin_delay_ns(n)
+                    if extra > 0:
+                        yield from core.execute(extra, priority)
+                    if self.fault_hook.pin_should_fail():
+                        raise OutOfMemory("injected transient pin failure")
                 yield from core.execute(per_page * n, priority)
                 if should_abort is not None and should_abort():
                     return idx - start_index

@@ -66,6 +66,23 @@ class OpenMXConfig:
     # Reliability.
     resend_timeout_ns: int = SECOND  # the paper's 1 s retransmission timeout
     max_resend_rounds: int = 8  # give up (error) after this many dead timeouts
+    # Exponential backoff on both retransmit timers: each consecutive
+    # unproductive round multiplies the timeout by ``resend_backoff_factor``
+    # (1.0 restores the paper's fixed timer), capped at
+    # ``resend_backoff_cap_ns`` (None: 8x the base timeout).  A deterministic
+    # per-request jitter of up to ``resend_jitter_frac`` of the delay
+    # desynchronizes retransmission bursts without an RNG.
+    resend_backoff_factor: float = 2.0
+    resend_backoff_cap_ns: int | None = None
+    resend_jitter_frac: float = 0.1
+    # Pin-failure handling: retry a failed region pin up to ``pin_retry_max``
+    # times (transient ENOMEM, notifier cancellation), waiting
+    # ``pin_retry_backoff_ns`` (doubled per attempt) between tries; if the
+    # pin still fails but the addresses are valid, fall back to copying
+    # through the statically-pinned eager buffers instead of aborting.
+    pin_retry_max: int = 2
+    pin_retry_backoff_ns: int = 100_000
+    pin_fallback_to_copy: bool = True
 
     # User-space region cache (Section 3.2).
     region_cache_capacity: int = 64
@@ -98,3 +115,27 @@ class OpenMXConfig:
             raise ValueError("pull_window must be >= 1")
         if self.eager_max < 0:
             raise ValueError("eager_max must be >= 0")
+        if self.resend_backoff_factor < 1.0:
+            raise ValueError("resend_backoff_factor must be >= 1.0")
+        if not 0.0 <= self.resend_jitter_frac < 1.0:
+            raise ValueError("resend_jitter_frac must be in [0, 1)")
+        if self.pin_retry_max < 0:
+            raise ValueError("pin_retry_max must be >= 0")
+
+    def resend_delay_ns(self, dead_rounds: int, key: int = 0) -> int:
+        """Retransmission delay after ``dead_rounds`` unproductive rounds.
+
+        Exponential backoff with a deterministic jitter derived from ``key``
+        (a request seq/handle) — no RNG, so simulations stay reproducible.
+        """
+        base = self.resend_timeout_ns
+        cap = (self.resend_backoff_cap_ns if self.resend_backoff_cap_ns
+               is not None else 8 * base)
+        delay = min(int(base * self.resend_backoff_factor ** dead_rounds), cap)
+        if self.resend_jitter_frac > 0.0:
+            # Knuth multiplicative hash over (key, round): spreads timers
+            # without PYTHONHASHSEED-dependent behaviour.
+            h = ((key * 2654435761 + dead_rounds * 40503 + 12345)
+                 & 0xFFFFFFFF)
+            delay += int(delay * self.resend_jitter_frac * h / 0xFFFFFFFF)
+        return max(delay, 1)

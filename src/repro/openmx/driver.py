@@ -24,12 +24,15 @@ from dataclasses import dataclass, field
 from repro.hw.cpu import PRIO_KERNEL
 from repro.hw.memory import PAGE_SIZE
 from repro.hw.nic import EthernetFrame
+from repro.hw.memory import OutOfMemory
+from repro.kernel.address_space import BadAddress
 from repro.kernel.context import AcquiringContext, ExecContext
 from repro.kernel.kernel import Kernel, UserProcess
 from repro.obs.metrics import CounterShim, MetricRegistry
 from repro.obs.spans import Span, SpanTracker
 from repro.openmx.config import OpenMXConfig, PinningMode
 from repro.openmx.events import (
+    EagerSendFailed,
     RecvEagerEvent,
     RecvLargeDone,
     RndvEvent,
@@ -61,6 +64,12 @@ class _SendState:
     dst_endpoint: int
     done: bool = False
     span: Span | None = None
+    # Reliability: the rndv packet (for watchdog retransmission), a
+    # completion event the watchdog waits on, and the time of the last pull
+    # request observed for this send's region (its progress signal).
+    rndv: Rndv | None = None
+    done_event: Event | None = None
+    last_activity_ns: int = 0
 
 
 @dataclass
@@ -92,6 +101,9 @@ class _PullState:
     progress_marker: int = 0  # for the fallback retransmit timer
     span: Span | None = None
     block_spans: dict[int, Span] = field(default_factory=dict)
+    # Copy-through fallback: replies land here when the region could not be
+    # pinned; scattered to the user buffers at completion.
+    bounce: bytearray | None = None
 
     def chunk_range(self, chunk: int) -> tuple[int, int]:
         off = chunk * self.chunk_bytes
@@ -135,6 +147,10 @@ class DriverEndpoint:
         self.eager_tx: dict[int, _EagerTxState] = {}
         self._reassembly: dict[tuple[str, int, int], dict[int, bytes]] = {}
         self._seen_eager: dict[tuple[str, int], set[int]] = {}
+        # Rendezvous reliability: per peer, seq -> "active" while the pull is
+        # in flight, or the Notify packet once it completed (replayed when a
+        # retransmitted rndv reveals the original notify was lost).
+        self._rndv_log: dict[tuple[str, int], dict[int, object]] = {}
         # MMU notifier: one per open endpoint (Section 3.1).
         self._notifier = _EndpointNotifier(self)
         proc.aspace.notifiers.register(self._notifier)
@@ -296,14 +312,29 @@ class OpenMXDriver:
 
     def _eager_retransmit_timer(self, ep: DriverEndpoint,
                                 state: _EagerTxState) -> Generator:
+        """Bounded eager retransmission with exponential backoff.
+
+        Mirrors the pull path's ``max_resend_rounds``: when the peer stays
+        unreachable the loop gives up, counts an ``eager_timeout`` and
+        surfaces the failure to the library instead of spinning forever.
+        """
+        rounds = 0
         while True:
+            delay = self.config.resend_delay_ns(rounds, key=state.seq)
             result = yield self.env.any_of(
-                [state.acked, self.env.timeout(self.config.resend_timeout_ns)]
+                [state.acked, self.env.timeout(delay)]
             )
             if state.acked in result:
                 return
             if state.seq not in ep.eager_tx:
                 return
+            if rounds >= self.config.max_resend_rounds:
+                del ep.eager_tx[state.seq]
+                self.counters.incr("eager_timeout")
+                self.trace(ep, "eager_timeout", seq=state.seq)
+                ep.post_event(EagerSendFailed(seq=state.seq))
+                return
+            rounds += 1
             self.counters.incr("eager_retransmit")
             # Re-arm the ack before retransmitting so a liback racing the
             # retransmission is never missed.
@@ -341,6 +372,8 @@ class OpenMXDriver:
         state = _SendState(seq, region, dst_board, dst_endpoint)
         state.span = self.spans.begin("rndv", self.env.now, side="send",
                                       seq=seq, bytes=region.total_length)
+        state.done_event = self.env.event()
+        state.last_activity_ns = self.env.now
         ep.sends[seq] = state
         self.pin_mgr.comm_started(region)
         rndv = Rndv(
@@ -348,6 +381,7 @@ class OpenMXDriver:
             seq=seq, match_info=match_info, msg_length=region.total_length,
             sender_region=rid,
         )
+        state.rndv = rndv
         if self._use_overlap(blocking):
             # Figure 5: the rndv leaves first; the pin proceeds inside the
             # syscall while the rendezvous round-trip is in flight.  Pull
@@ -357,35 +391,136 @@ class OpenMXDriver:
                 ok = yield from self.pin_mgr.pin_prefix(
                     ctx, region, self.config.overlap_sync_pages
                 )
-                if not ok:
+                if not ok and not self._region_mapped(region):
+                    # Invalid addresses: unrecoverable.  A transient prefix
+                    # failure just skips the prefix; the main pin retries.
                     yield from self._abort_send(ctx, ep, state)
                     return seq
             yield from self._xmit(ctx, dst_board, rndv)
             self.trace(ep, "send_rndv", seq=seq, overlapped=True)
+            self._start_send_watchdog(ep, state)
             ok = yield from self._acquire_pinned_timed(ctx, state.span,
                                                       region, "send")
+            if not ok and not state.done:
+                ok = yield from self._send_fallback(ctx, ep, state)
             if not ok:
-                yield from self._abort_send(ctx, ep, state)
+                if not state.done:
+                    yield from self._abort_send(ctx, ep, state)
                 return seq
             self.trace(ep, "send_pinned", seq=seq)
         else:
             ok = yield from self._acquire_pinned_timed(ctx, state.span,
                                                       region, "send")
             if not ok:
+                ok = yield from self._send_fallback(ctx, ep, state)
+            if not ok:
                 yield from self._abort_send(ctx, ep, state)
                 return seq
             self.trace(ep, "send_pinned", seq=seq)
             yield from self._xmit(ctx, dst_board, rndv)
             self.trace(ep, "send_rndv", seq=seq, overlapped=False)
+            self._start_send_watchdog(ep, state)
         return seq
+
+    def _region_mapped(self, region: UserRegion) -> bool:
+        """Are all of the region's segments still backed by VMAs?"""
+        return all(
+            region.aspace.is_mapped_range(seg.va, seg.length)
+            for seg in region.segments
+        )
+
+    def _send_fallback(self, ctx: ExecContext, ep: DriverEndpoint,
+                       state: _SendState) -> Generator:
+        """Degrade a send whose region cannot be pinned to copy-through.
+
+        The data is copied once into the statically-pinned eager buffers
+        (exactly the Section 2.2 intermediate-buffer path) and pull requests
+        are served from that snapshot, so persistent pin failure costs one
+        extra copy instead of aborting the request.  Returns False when the
+        addresses are invalid (nothing to copy).
+        """
+        region = state.region
+        if (not self.config.pin_fallback_to_copy or region.destroyed
+                or not self._region_mapped(region)):
+            return False
+        yield from ctx.memcpy(region.total_length)
+        region.bounce = b"".join(
+            region.aspace.read(seg.va, seg.length) for seg in region.segments
+        )
+        self.counters.incr("pin_fallback_send")
+        self.trace(ep, "pin_fallback_send", seq=state.seq)
+        return True
+
+    def _start_send_watchdog(self, ep: DriverEndpoint,
+                             state: _SendState) -> None:
+        self.env.process(self._send_watchdog(ep, state),
+                         name=f"omx.sendwd.{state.seq}")
+
+    def _send_watchdog(self, ep: DriverEndpoint,
+                       state: _SendState) -> Generator:
+        """Send-side liveness: retransmit the rndv, eventually give up.
+
+        The sender's only progress signal is the stream of pull requests for
+        its region.  After a quiet round the rndv is retransmitted (the
+        receiver dedups duplicates and replays a lost notify); after
+        ``max_resend_rounds`` quiet rounds the send completes with a
+        "timeout" status so the library is never left hanging.
+        """
+        dead_rounds = 0
+        marker = state.last_activity_ns
+        while not state.done:
+            delay = self.config.resend_delay_ns(dead_rounds, key=state.seq)
+            result = yield self.env.any_of(
+                [state.done_event, self.env.timeout(delay)]
+            )
+            if state.done or state.done_event in result:
+                return
+            if state.last_activity_ns == marker:
+                dead_rounds += 1
+                if dead_rounds >= self.config.max_resend_rounds:
+                    ctx = AcquiringContext(self.env, ep.proc.core, PRIO_KERNEL)
+                    yield from self._give_up_send(ctx, ep, state)
+                    return
+                self.counters.incr("rndv_retransmit")
+                ctx = AcquiringContext(self.env, ep.proc.core, PRIO_KERNEL)
+                yield from self._xmit(ctx, state.dst_board, state.rndv)
+            else:
+                dead_rounds = 0
+            marker = state.last_activity_ns
+
+    def _give_up_send(self, ctx: ExecContext, ep: DriverEndpoint,
+                      state: _SendState) -> Generator:
+        state.done = True
+        if state.done_event is not None and not state.done_event.triggered:
+            state.done_event.succeed()
+        if state.span is not None:
+            self.spans.end(state.span, self.env.now, status="timeout")
+        ep.sends.pop(state.seq, None)
+        yield from self.pin_mgr.comm_done(ctx, state.region)
+        ep.post_event(SendLargeDone(seq=state.seq, status="timeout"))
+        self.counters.incr("send_timeout")
+        self.trace(ep, "send_timeout", seq=state.seq)
 
     def _acquire_pinned_timed(self, ctx: ExecContext, parent: Span | None,
                               region: UserRegion, side: str) -> Generator:
-        """acquire_pinned wrapped in a ``pin`` span + pin-wait histogram."""
+        """acquire_pinned wrapped in a ``pin`` span + pin-wait histogram.
+
+        Transient pin failures (injected ENOMEM, a notifier cancellation
+        racing the pin) are retried up to ``pin_retry_max`` times with a
+        doubling backoff; regions whose addresses are genuinely unmapped
+        fail immediately, preserving the error path.
+        """
         start = self.env.now
         pin_span = self.spans.begin("pin", start, parent=parent,
                                     pages=region.npages)
         ok = yield from self.pin_mgr.acquire_pinned(ctx, region)
+        attempt = 0
+        while (not ok and attempt < self.config.pin_retry_max
+               and not region.destroyed and self._region_mapped(region)):
+            yield self.env.timeout(self.config.pin_retry_backoff_ns << attempt)
+            attempt += 1
+            self.counters.incr("pin_retry")
+            ok = yield from self.pin_mgr.acquire_pinned(ctx, region)
         self.spans.end(pin_span, self.env.now, ok=ok)
         if ok:
             hist = (self._m_pin_wait_send if side == "send"
@@ -396,6 +531,8 @@ class OpenMXDriver:
     def _abort_send(self, ctx: ExecContext, ep: DriverEndpoint,
                     state: _SendState) -> Generator:
         state.done = True
+        if state.done_event is not None and not state.done_event.triggered:
+            state.done_event.succeed()
         if state.span is not None:
             self.spans.end(state.span, self.env.now, status="error")
         del ep.sends[state.seq]
@@ -440,7 +577,7 @@ class OpenMXDriver:
                 ok = yield from self.pin_mgr.pin_prefix(
                     ctx, region, cfg.overlap_sync_pages
                 )
-                if not ok:
+                if not ok and not self._region_mapped(region):
                     yield from self._finish_pull(ctx, ep, state, status="error")
                     return handle
             yield from self._request_initial_blocks(ctx, ep, state)
@@ -448,6 +585,8 @@ class OpenMXDriver:
                              name=f"omx.pulltimer.{handle}")
             ok = yield from self._acquire_pinned_timed(ctx, state.span,
                                                       region, "recv")
+            if not ok and not state.done:
+                ok = self._recv_fallback(ep, state)
             if not ok and not state.done:
                 yield from self._finish_pull(ctx, ep, state, status="error")
                 return handle
@@ -461,6 +600,8 @@ class OpenMXDriver:
         else:
             ok = yield from self._acquire_pinned_timed(ctx, state.span,
                                                       region, "recv")
+            if not ok:
+                ok = self._recv_fallback(ep, state)
             if not ok:
                 yield from self._finish_pull(ctx, ep, state, status="error")
                 return handle
@@ -525,6 +666,9 @@ class OpenMXDriver:
 
     def _recoverable_misses(self, state: _PullState) -> list[int]:
         """Chunks dropped on a local overlap miss whose pages are pinned now."""
+        if state.bounce is not None:
+            # The bounce buffer accepts any chunk: everything is recoverable.
+            return [c for c in sorted(state.missed) if not state.received[c]]
         return [
             c
             for c in sorted(state.missed)
@@ -547,13 +691,41 @@ class OpenMXDriver:
             if not state.received[c] and state.last_request_ns[c] <= req_time
         ]
 
+    def _recv_fallback(self, ep: DriverEndpoint, state: _PullState) -> bool:
+        """Degrade a receive whose region cannot be pinned to copy-through.
+
+        Pull replies land in a kernel bounce buffer (the statically-pinned
+        intermediate-buffer path of Section 2.2) and are scattered to the
+        user buffers through the page table at completion.
+        """
+        region = state.region
+        if (not self.config.pin_fallback_to_copy or region.destroyed
+                or not self._region_mapped(region)):
+            return False
+        # Seed the bounce with the buffer's current contents: chunks that
+        # landed in the user pages before the pin failure (overlapped mode)
+        # are marked received and never re-requested, so the completion-time
+        # scatter must not wipe them.
+        state.bounce = bytearray(b"".join(
+            region.aspace.read(seg.va, seg.length) for seg in region.segments
+        ))[:state.length]
+        self.counters.incr("pin_fallback_recv")
+        self.trace(ep, "pin_fallback_recv", handle=state.handle)
+        return True
+
     def _pull_fallback_timer(self, ep: DriverEndpoint,
                              state: _PullState) -> Generator:
-        """Last-resort retransmission (the paper's 1 s timeout)."""
+        """Last-resort retransmission (the paper's 1 s timeout).
+
+        Consecutive unproductive rounds stretch the timeout exponentially
+        (``resend_delay_ns``), so a congested or bursty-lossy fabric sees
+        fewer redundant retransmissions than the paper's fixed timer.
+        """
         dead_rounds = 0
         while not state.done:
+            delay = self.config.resend_delay_ns(dead_rounds, key=state.handle)
             result = yield self.env.any_of(
-                [state.done_event, self.env.timeout(self.config.resend_timeout_ns)]
+                [state.done_event, self.env.timeout(delay)]
             )
             if state.done or state.done_event in result:
                 return
@@ -595,7 +767,7 @@ class OpenMXDriver:
             self._rx_liback(ep, pkt)
         elif isinstance(pkt, Rndv):
             yield from ctx.charge(200)
-            ep.post_event(RndvEvent(rndv=pkt))
+            yield from self._rx_rndv(ctx, ep, pkt)
         elif isinstance(pkt, PullRequest):
             yield from self._rx_pull_request(ctx, ep, pkt)
         elif isinstance(pkt, PullReply):
@@ -604,6 +776,27 @@ class OpenMXDriver:
             yield from self._rx_notify(ctx, ep, pkt)
         else:  # pragma: no cover - exhaustiveness guard
             self.counters.incr("rx_unknown_type")
+
+    def _rx_rndv(self, ctx: ExecContext, ep: DriverEndpoint,
+                 pkt: Rndv) -> Generator:
+        """Deliver a rendezvous to the library, deduplicating retransmits.
+
+        The sender's watchdog retransmits its rndv when no pull requests
+        arrive.  A duplicate of an in-flight rendezvous is dropped (the pull
+        timer recovers lost requests); a duplicate of a *completed* one means
+        the notify was lost, so it is replayed from the log.
+        """
+        log = ep._rndv_log.setdefault((pkt.src_board, pkt.src_endpoint), {})
+        entry = log.get(pkt.seq)
+        if entry is None:
+            log[pkt.seq] = "active"
+            ep.post_event(RndvEvent(rndv=pkt))
+        elif isinstance(entry, Notify):
+            self.counters.incr("notify_replayed")
+            self.trace(ep, "notify_replayed", seq=pkt.seq)
+            yield from self._xmit(ctx, pkt.src_board, entry)
+        else:
+            self.counters.incr("rndv_duplicate")
 
     def _rx_eager(self, ctx: ExecContext, ep: DriverEndpoint,
                   pkt: EagerFrag) -> Generator:
@@ -656,19 +849,31 @@ class OpenMXDriver:
         if region is None:
             self.counters.incr("pull_req_unknown_region")
             return
+        # Progress signal for the send-side watchdog: the peer is pulling.
+        for s in ep.sends.values():
+            if s.region is region and s.dst_board == pkt.src_board:
+                s.last_activity_ns = self.env.now
         cfg = self.config
         offset = pkt.offset
         end = pkt.offset + pkt.length
+        served_fallback = False
         while offset < end:
             chunk = min(cfg.data_frame_payload, end - offset)
             if cfg.pinning_mode.overlapped:
                 yield from ctx.charge(cfg.overlap_check_ns)
             if not region.covers(offset, chunk):
-                self.counters.incr("overlap_miss_send")
-                self.counters.incr("pull_req_dropped_bytes", end - offset)
-                self.trace(ep, "overlap_miss_send", offset=offset)
-                return
-            data = region.read(offset, chunk)
+                if region.bounce is not None:
+                    # Copy-through degradation: the region could not be
+                    # pinned; serve from the kernel snapshot instead.
+                    data = region.bounce[offset : offset + chunk]
+                    served_fallback = True
+                else:
+                    self.counters.incr("overlap_miss_send")
+                    self.counters.incr("pull_req_dropped_bytes", end - offset)
+                    self.trace(ep, "overlap_miss_send", offset=offset)
+                    return
+            else:
+                data = region.read(offset, chunk)
             # Zero-copy send: the NIC DMAs from the pinned pages; the CPU
             # only builds the descriptor (cost inside _xmit).
             reply = PullReply(
@@ -679,6 +884,8 @@ class OpenMXDriver:
             yield from self._xmit(ctx, pkt.src_board, reply)
             offset += chunk
         self.counters.incr("pull_req_served")
+        if served_fallback:
+            self.counters.incr("pull_served_fallback")
 
     def _rx_pull_reply(self, ctx: ExecContext, ep: DriverEndpoint,
                        pkt: PullReply) -> Generator:
@@ -690,15 +897,19 @@ class OpenMXDriver:
         if cfg.pinning_mode.overlapped:
             yield from ctx.charge(cfg.overlap_check_ns)
         chunk_idx = pkt.offset // state.chunk_bytes
-        if not state.region.covers(pkt.offset, len(pkt.data)):
+        if state.received[chunk_idx]:
+            # Checked before the watermark so that fault-injected duplicates
+            # of delivered chunks never count as overlap misses.
+            self.counters.incr("pull_reply_duplicate")
+            return
+        if state.bounce is None and not state.region.covers(
+            pkt.offset, len(pkt.data)
+        ):
             # Receive-side overlap miss: drop the packet (Section 3.3) and
             # remember the chunk so it is re-requested once pinned.
             state.missed.add(chunk_idx)
             self.counters.incr("overlap_miss_recv")
             self.trace(ep, "overlap_miss_recv", offset=pkt.offset)
-            return
-        if state.received[chunk_idx]:
-            self.counters.incr("pull_reply_duplicate")
             return
         # Copy into the user region: CPU memcpy in BH context, or I/OAT.
         block_span = state.block_spans.get(chunk_idx // state.block_chunks)
@@ -707,15 +918,37 @@ class OpenMXDriver:
             parent=block_span if block_span is not None else state.span,
             offset=pkt.offset, bytes=len(pkt.data),
         )
-        if cfg.use_ioat and self.kernel.host.ioat is not None:
-            yield from ctx.charge(self.kernel.host.ioat.spec.submit_ns)
-            state.region.write(pkt.offset, pkt.data)
-            dma = self.env.process(self.kernel.host.ioat.copy(len(pkt.data)),
-                                   name="omx.ioat")
-            state.dma_events.append(dma)
-        else:
+        if state.bounce is not None:
+            # Copy-through degradation: land in the kernel bounce buffer;
+            # scattered to the user pages at completion.
             yield from ctx.memcpy(len(pkt.data))
-            state.region.write(pkt.offset, pkt.data)
+            state.bounce[pkt.offset : pkt.offset + len(pkt.data)] = pkt.data
+        else:
+            use_ioat = cfg.use_ioat and self.kernel.host.ioat is not None
+            if use_ioat:
+                yield from ctx.charge(self.kernel.host.ioat.spec.submit_ns)
+            else:
+                yield from ctx.memcpy(len(pkt.data))
+            # The charge above yielded: a concurrent pin failure may have
+            # rolled the watermark back (or switched this pull to bounce
+            # mode) underneath us.  Re-validate before touching the pages —
+            # the zero-copy rule of re-checking the target under the lock.
+            if state.bounce is not None:
+                state.bounce[pkt.offset : pkt.offset + len(pkt.data)] = \
+                    pkt.data
+            elif not state.region.covers(pkt.offset, len(pkt.data)):
+                state.missed.add(chunk_idx)
+                self.counters.incr("overlap_miss_recv")
+                self.trace(ep, "overlap_miss_recv", offset=pkt.offset)
+                self.spans.end(copy_span, self.env.now, status="miss")
+                return
+            else:
+                state.region.write(pkt.offset, pkt.data)
+                if use_ioat:
+                    dma = self.env.process(
+                        self.kernel.host.ioat.copy(len(pkt.data)),
+                        name="omx.ioat")
+                    state.dma_events.append(dma)
         self.spans.end(copy_span, self.env.now)
         state.received[chunk_idx] = True
         state.bytes_received += len(pkt.data)
@@ -752,6 +985,26 @@ class OpenMXDriver:
         if state.dma_events:
             yield self.env.all_of(state.dma_events)
         ctx = AcquiringContext(self.env, ep.proc.core, PRIO_KERNEL)
+        if state.bounce is not None:
+            # Copy-through degradation: scatter the kernel bounce buffer to
+            # the user buffers through the page table (the region was never
+            # pinned).  The mapping can vanish underneath us — then the
+            # receive really has failed.
+            try:
+                yield from ctx.memcpy(state.length)
+                pos = 0
+                for seg in state.region.segments:
+                    take = min(seg.length, state.length - pos)
+                    if take <= 0:
+                        break
+                    state.region.aspace.write(
+                        seg.va, memoryview(state.bounce)[pos : pos + take]
+                    )
+                    pos += take
+            except (BadAddress, OutOfMemory):
+                self.counters.incr("pin_fallback_scatter_failed")
+                yield from self._finish_pull(ctx, ep, state, status="error")
+                return
         notify = Notify(
             src_board=self.board, src_endpoint=ep.id,
             dst_endpoint=state.src_endpoint, handle=state.handle,
@@ -761,6 +1014,10 @@ class OpenMXDriver:
         yield from self._xmit(ctx, state.src_board, notify)
         self.spans.end(nspan, self.env.now)
         self.trace(ep, "notify_sent", handle=state.handle)
+        # Log the notify so a retransmitted rndv (ours was completed but the
+        # notify got lost) can be answered by replaying it.
+        log = ep._rndv_log.setdefault((state.src_board, state.src_endpoint), {})
+        log[state.sender_seq] = notify
         yield from self._finish_pull(ctx, ep, state, status="ok")
 
     def _finish_pull(self, ctx: ExecContext, ep: DriverEndpoint,
@@ -783,6 +1040,8 @@ class OpenMXDriver:
             self.counters.incr("notify_stale")
             return
         state.done = True
+        if state.done_event is not None and not state.done_event.triggered:
+            state.done_event.succeed()
         del ep.sends[pkt.seq]
         if state.span is not None:
             self.spans.end(state.span, self.env.now, status="ok")

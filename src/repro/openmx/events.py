@@ -14,6 +14,7 @@ from repro.openmx.wire import Rndv
 
 __all__ = [
     "DriverEvent",
+    "EagerSendFailed",
     "RecvEagerEvent",
     "RecvLargeDone",
     "RndvEvent",
@@ -50,6 +51,19 @@ class SendLargeDone(DriverEvent):
 
     seq: int
     status: str = "ok"  # or "error" (pin failure)
+
+
+@dataclass(frozen=True)
+class EagerSendFailed(DriverEvent):
+    """The bounded eager retransmit loop gave up: the peer never acked.
+
+    Eager sends complete locally as soon as the data is buffered (MX
+    semantics), so this arrives *after* the request already reported "ok";
+    the library flips the request's status to "timeout" asynchronously.
+    """
+
+    seq: int
+    status: str = "timeout"
 
 
 @dataclass(frozen=True)

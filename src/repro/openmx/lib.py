@@ -17,6 +17,7 @@ overlap the paper's Section 5 discussion centres on.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Generator
 from dataclasses import dataclass, field
 
@@ -26,6 +27,7 @@ from repro.kernel.kernel import UserProcess
 from repro.openmx.config import OpenMXConfig, PinningMode
 from repro.openmx.driver import OpenMXDriver
 from repro.openmx.events import (
+    EagerSendFailed,
     RecvEagerEvent,
     RecvLargeDone,
     RndvEvent,
@@ -102,6 +104,12 @@ class OmxLib:
         self._unexpected: list[_UnexpectedEager | _UnexpectedRndv] = []
         self._send_waiting: dict[int, OmxRequest] = {}
         self._recv_waiting: dict[int, OmxRequest] = {}
+        # Eager sends complete locally (MX semantics), but the driver's
+        # bounded retransmit loop can still fail them later; track the
+        # requests weakly so a caller who kept theirs sees the status flip.
+        self._eager_sent: weakref.WeakValueDictionary[int, OmxRequest] = (
+            weakref.WeakValueDictionary()
+        )
 
     # -- region plumbing ---------------------------------------------------------
     def _declare_region(self, ctx: ExecContext,
@@ -158,10 +166,11 @@ class OmxLib:
                 )
                 return seq
 
-            yield from self.proc.syscall(body)
+            seq = yield from self.proc.syscall(body)
             # MX semantics: an eager send completes locally once buffered.
             req.done = True
             req.status = "ok"
+            self._eager_sent[seq] = req
             return req
         yield from self._get_region(ctx, va, length, req)
 
@@ -198,9 +207,10 @@ class OmxLib:
                 )
                 return seq
 
-            yield from self.proc.syscall(body)
+            seq = yield from self.proc.syscall(body)
             req.done = True
             req.status = "ok"
+            self._eager_sent[seq] = req
             return req
         yield from self._get_region(ctx, segs[0].va, total, req, segments=segs)
 
@@ -300,6 +310,27 @@ class OmxLib:
                 [doorbell, self.env.timeout(self.config.poll_slice_ns)]
             )
 
+    def cancel(self, req: OmxRequest) -> bool:
+        """Cancel a posted receive that has not matched yet (mx_cancel).
+
+        Returns ``True`` if the request was still unmatched and is now
+        terminal with status ``"cancelled"``.  Returns ``False`` if it
+        already completed or already matched a sender — in that case the
+        transfer machinery owns it and will drive it to a terminal status
+        (the pull path's bounded give-up timer guarantees that).  This is
+        how an application recovers a receive whose peer gave up: MX keeps
+        no connection state, so the sender's local failure is never
+        signalled to the receiver.
+        """
+        if req.done:
+            return False
+        if req in self._posted:
+            self._posted.remove(req)
+            req.done = True
+            req.status = "cancelled"
+            return True
+        return False
+
     def has_unexpected(self, match_info: int, match_mask: int) -> bool:
         """Does the unexpected queue hold a message matching (info, mask)?"""
         for un in self._unexpected:
@@ -362,6 +393,10 @@ class OmxLib:
                 req.done = True
                 req.status = ev.status
                 yield from self._release_region(ctx, req)
+        elif isinstance(ev, EagerSendFailed):
+            req = self._eager_sent.pop(ev.seq, None)
+            if req is not None:
+                req.status = ev.status
         else:  # pragma: no cover - future event kinds
             raise TypeError(f"unknown driver event {ev!r}")
 

@@ -73,6 +73,7 @@ class PinManager:
             raise RuntimeError(f"region {region.id}: comm_done underflow")
         if region.active_comms > 0:
             return
+        region.bounce = None  # drop any copy-through fallback snapshot
         if region.invalidate_pending:
             # Deferred MMU-notifier invalidation: honour it now.
             region.invalidate_pending = False
@@ -226,7 +227,11 @@ class PinManager:
             # Prefix complete: leave the region resumable.
             region.state = RegionState.UNPINNED
             return True
-        # Cancelled mid-pin (invalidation or destruction).
+        # Cancelled mid-pin (invalidation or destruction).  Leave the region
+        # resumable — a PINNING state with no live pinner would strand any
+        # waiter in acquire_pinned forever.
+        if region.state is RegionState.PINNING:
+            region.state = RegionState.UNPINNED
         self.counters.incr("pin_cancelled")
         return False
 

@@ -79,6 +79,11 @@ class UserRegion:
         self.active_comms = 0
         self.invalidate_pending = False
         self.pin_epoch = 0
+        # Copy-through fallback (persistent pin failure): a kernel-side
+        # snapshot of the region's bytes held in the statically-pinned eager
+        # buffers; served in place of pinned frames and cleared when the
+        # last communication on the region completes.
+        self.bounce: bytes | None = None
         # Precompute (segment start offset, segment, first page index).
         self._index: list[tuple[int, Segment, int]] = []
         off = 0

@@ -76,17 +76,16 @@ def test_acks_are_delayed():
 
 
 def test_retransmission_recovers_injected_loss():
+    from repro.faults import DropNth
+
     cluster, stacks, a, b = build_tcp_pair(rto_ns=5_000_000)
-    dropped = {"n": 0}
-
-    def rule(frame):
-        if isinstance(frame.payload, TcpSegment) and frame.payload.data:
-            dropped["n"] += 1
-            return dropped["n"] == 3  # drop the third data segment once
-        return False
-
-    cluster.fabric.drop_rule = rule
+    # Drop the third data segment once (a match may be any callable, here
+    # filtering out pure acks).
+    model = DropNth({3}, match=lambda f: (isinstance(f.payload, TcpSegment)
+                                          and bool(f.payload.data)))
+    cluster.fabric.add_fault_injector(model)
     stream_once(cluster, a, b, 256 * KIB)
+    assert model.injected == 1
     assert stacks[0].counters["tcp_retransmit"] >= 1
 
 

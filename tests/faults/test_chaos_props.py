@@ -1,0 +1,21 @@
+"""Property: ANY seeded fault plan preserves integrity and liveness, in
+EVERY pinning mode.  This is the formal statement of the robustness work —
+faults may slow transfers down or fail them cleanly, but they can never
+corrupt delivered data, hang a request, or leak a pinned page."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.chaos import run_chaos
+from repro.openmx import PinningMode
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_seeded_fault_plan_safe_in_every_mode(seed):
+    for mode in PinningMode:
+        result = run_chaos(seed, steps=2, mode=mode)
+        assert result.finished, f"seed {seed} mode {mode.value}: not finished"
+        assert result.clean, (
+            f"seed {seed} mode {mode.value}: "
+            + "; ".join(str(v) for v in result.violations)
+        )

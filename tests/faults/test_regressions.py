@@ -1,0 +1,134 @@
+"""Regression: repeated MMU invalidations of the same range must never
+double-unpin.  ``PhysicalMemory.account_unpin`` enforces the balance by
+raising; these tests drive the double-invalidation paths end to end."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.openmx import OpenMXConfig, PinningMode
+from repro.util.units import MIB
+
+
+def build(mode=PinningMode.CACHE):
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=mode))
+    return (cluster, cluster.lib(0), cluster.lib(1),
+            cluster.nodes[0].procs[0], cluster.nodes[1].procs[0])
+
+
+def transfer(cluster, s, r, sp, rp, sbuf, rbuf, n, tag):
+    data = bytes((i * 13 + tag) % 256 for i in range(n))
+    sp.write(sbuf, data)
+
+    def sender():
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, tag)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, n, tag)
+        yield from r.wait(req)
+
+    env = cluster.env
+    env.run(until=env.all_of([env.process(sender()), env.process(receiver())]))
+    assert rp.read(rbuf, n) == data
+
+
+def test_account_unpin_raises_on_double_unpin():
+    cluster = build_cluster()
+    proc = cluster.nodes[0].procs[0]
+    va = proc.malloc(4096)
+    proc.write(va, b"x")  # fault the page in
+    mem = cluster.nodes[0].host.memory
+    frame = next(iter(mem.iter_used()))
+    mem.account_pin(frame)
+    mem.account_unpin(frame)
+    with pytest.raises(ValueError):
+        mem.account_unpin(frame)
+
+
+def test_double_invalidation_of_idle_cached_region():
+    cluster, s, r, sp, rp = build()
+    n = 1 * MIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    transfer(cluster, s, r, sp, rp, sbuf, rbuf, n, tag=1)
+    mem = cluster.nodes[0].host.memory
+    assert mem.pinned_frames > 0  # region cached and pinned
+
+    # Two overlapping invalidations in a row: the first unpins the cached
+    # region, the second must find nothing left to unpin (and not raise).
+    sp.aspace.swap_out(sbuf, n)
+    assert mem.pinned_frames == 0
+    sp.aspace.swap_out(sbuf, n)
+    assert mem.pinned_frames == 0
+    counters = cluster.nodes[0].driver.counters
+    assert counters["invalidate_unpinned"] == 1
+
+    # The region cache recovers: the next transfer repins and delivers.
+    transfer(cluster, s, r, sp, rp, sbuf, rbuf, n, tag=2)
+    assert counters["region_pinned"] == 2
+
+
+def test_double_invalidation_mid_transfer_defers_single_unpin():
+    cluster, s, r, sp, rp = build()
+    n = 2 * MIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    data = bytes((i * 29) % 256 for i in range(n))
+    sp.write(sbuf, data)
+    env = cluster.env
+
+    def sender():
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, 1)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, n, 1)
+        yield from r.wait(req)
+
+    def pressure():
+        # Fire two invalidations while the pull is in flight: both must
+        # defer (the region has active comms) and the eventual unpin at
+        # comm end must happen exactly once.
+        yield env.timeout(300_000)
+        sp.aspace.swap_out(sbuf, n)
+        sp.aspace.swap_out(sbuf, n)
+
+    env.run(until=env.all_of([env.process(sender()), env.process(receiver()),
+                              env.process(pressure())]))
+    assert rp.read(rbuf, n) == data
+    counters = cluster.nodes[0].driver.counters
+    assert counters["invalidate_deferred"] >= 1
+    mem = cluster.nodes[0].host.memory
+    # Deferred invalidation resolved: nothing pinned, nothing leaked,
+    # and no double-unpin blew up along the way.
+    assert mem.pinned_frames == 0
+    assert all(f.pin_count == 0 for f in mem.iter_used())
+
+
+def test_overlap_mode_double_invalidation_during_pinning():
+    """Invalidate twice while overlapped pinning is still in progress
+    (the hardest window: pages partially pinned)."""
+    cluster, s, r, sp, rp = build(PinningMode.OVERLAP)
+    n = 2 * MIB
+    sbuf, rbuf = sp.malloc(n), rp.malloc(n)
+    data = bytes((i * 31) % 256 for i in range(n))
+    sp.write(sbuf, data)
+    env = cluster.env
+
+    def sender():
+        req = yield from s.isend(sbuf, n, r.board, r.endpoint_id, 1)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, n, 1)
+        yield from r.wait(req)
+
+    def pressure():
+        yield env.timeout(50_000)  # overlapped pinning has just started
+        sp.aspace.swap_out(sbuf, n)
+        sp.aspace.swap_out(sbuf, n)
+
+    env.run(until=env.all_of([env.process(sender()), env.process(receiver()),
+                              env.process(pressure())]))
+    assert rp.read(rbuf, n) == data
+    mem = cluster.nodes[0].host.memory
+    assert mem.pinned_frames == 0
+    assert all(f.pin_count == 0 for f in mem.iter_used())

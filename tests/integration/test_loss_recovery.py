@@ -5,13 +5,8 @@ miss recovery mechanism, so this machinery is load-bearing)."""
 import pytest
 
 from repro.cluster import build_cluster
-from repro.openmx import (
-    EagerFrag,
-    OpenMXConfig,
-    PinningMode,
-    PullReply,
-    PullRequest,
-)
+from repro.faults import DropNth, FrameMatch, PeriodicDrop
+from repro.openmx import OpenMXConfig, PinningMode
 from repro.util.units import KIB, MIB, MILLISECOND
 
 
@@ -36,28 +31,15 @@ def run_transfer(cluster, nbytes, tag=1):
     assert rp.read(rbuf, nbytes) == data
 
 
-def make_dropper(predicate, drops):
-    """Drop frames matching predicate, at the 1-indexed positions in drops."""
-    seen = {"n": 0}
-
-    def rule(frame):
-        if predicate(frame.payload):
-            seen["n"] += 1
-            return seen["n"] in drops
-        return False
-
-    return rule
-
-
 @pytest.mark.parametrize("drops", [{3}, {1, 2}, {5, 6, 7}])
 def test_pull_reply_loss_recovered_optimistically(drops):
     cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
-    cluster.fabric.drop_rule = make_dropper(
-        lambda p: isinstance(p, PullReply), drops
-    )
+    model = DropNth(drops, match=FrameMatch(kinds=("PullReply",)))
+    cluster.fabric.add_fault_injector(model)
     run_transfer(cluster, 2 * MIB)
     counters = cluster.nodes[1].driver.counters
     assert counters["pull_rerequest"] >= 1
+    assert model.injected == len(drops)
     # Recovery happened without burning the 1 s retransmission timeout.
     assert cluster.env.now < 500 * MILLISECOND
 
@@ -70,8 +52,8 @@ def test_adversarial_periodic_loss_still_delivers():
         config=OpenMXConfig(pinning_mode=PinningMode.CACHE,
                             resend_timeout_ns=5 * MILLISECOND)
     )
-    cluster.fabric.drop_rule = make_dropper(
-        lambda p: isinstance(p, PullReply), set(range(1, 300, 3))
+    cluster.fabric.add_fault_injector(
+        PeriodicDrop(3, phase=1, match=FrameMatch(kinds=("PullReply",)))
     )
     run_transfer(cluster, 2 * MIB)
     assert cluster.nodes[1].driver.counters["pull_rerequest"] >= 1
@@ -79,8 +61,8 @@ def test_adversarial_periodic_loss_still_delivers():
 
 def test_pull_request_loss_recovered():
     cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
-    cluster.fabric.drop_rule = make_dropper(
-        lambda p: isinstance(p, PullRequest), {1}
+    cluster.fabric.add_fault_injector(
+        DropNth({1}, match=FrameMatch(kinds=("PullRequest",)))
     )
     run_transfer(cluster, 1 * MIB)
 
@@ -93,9 +75,8 @@ def test_tail_loss_recovered_by_timeout():
                             resend_timeout_ns=5 * MILLISECOND)
     )
     nbytes = 256 * KIB  # 32 chunks
-    dropped = {31, 32}
-    cluster.fabric.drop_rule = make_dropper(
-        lambda p: isinstance(p, PullReply), dropped
+    cluster.fabric.add_fault_injector(
+        DropNth({31, 32}, match=FrameMatch(kinds=("PullReply",)))
     )
     run_transfer(cluster, nbytes)
     assert cluster.nodes[1].driver.counters["pull_timeout_resend"] >= 1
@@ -105,21 +86,19 @@ def test_eager_fragment_loss_recovered_by_retransmit():
     cluster = build_cluster(
         config=OpenMXConfig(resend_timeout_ns=2 * MILLISECOND)
     )
-    cluster.fabric.drop_rule = make_dropper(
-        lambda p: isinstance(p, EagerFrag), {2}
+    cluster.fabric.add_fault_injector(
+        DropNth({2}, match=FrameMatch(kinds=("EagerFrag",)))
     )
     run_transfer(cluster, 24 * KIB)  # 3 eager fragments
     assert cluster.nodes[0].driver.counters["eager_retransmit"] >= 1
 
 
 def test_eager_duplicate_after_liback_loss_is_deduplicated():
-    from repro.openmx import Liback
-
     cluster = build_cluster(
         config=OpenMXConfig(resend_timeout_ns=2 * MILLISECOND)
     )
-    cluster.fabric.drop_rule = make_dropper(
-        lambda p: isinstance(p, Liback), {1}
+    cluster.fabric.add_fault_injector(
+        DropNth({1}, match=FrameMatch(kinds=("Liback",)))
     )
     run_transfer(cluster, 8 * KIB)
     # The eager send completed locally before the liback was due; keep the
@@ -136,13 +115,28 @@ def test_repeated_heavy_loss_still_delivers():
                             resend_timeout_ns=5 * MILLISECOND)
     )
     # Drop every 7th data frame for the whole run.
-    counter = {"n": 0}
+    cluster.fabric.add_fault_injector(
+        PeriodicDrop(7, match=FrameMatch(kinds=("PullReply",)))
+    )
+    run_transfer(cluster, 4 * MIB)
+
+
+def test_drop_rule_shim_still_works():
+    """The legacy ``drop_rule`` hook is deprecated but must keep working
+    until callers migrate to fault injectors."""
+    from repro.openmx import PullReply
+
+    cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.CACHE))
+    seen = {"n": 0}
 
     def rule(frame):
         if isinstance(frame.payload, PullReply):
-            counter["n"] += 1
-            return counter["n"] % 7 == 0
+            seen["n"] += 1
+            return seen["n"] == 3
         return False
 
-    cluster.fabric.drop_rule = rule
-    run_transfer(cluster, 4 * MIB)
+    with pytest.warns(DeprecationWarning):
+        cluster.fabric.drop_rule = rule
+    run_transfer(cluster, 1 * MIB)
+    assert seen["n"] >= 3
+    assert cluster.nodes[1].driver.counters["pull_rerequest"] >= 1

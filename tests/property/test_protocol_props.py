@@ -4,7 +4,8 @@ randomized message sizes always delivers byte-exact data."""
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import build_cluster
-from repro.openmx import OpenMXConfig, PinningMode, PullReply, PullRequest
+from repro.faults import FrameMatch, PeriodicDrop
+from repro.openmx import OpenMXConfig, PinningMode
 from repro.util.units import MILLISECOND
 
 
@@ -53,14 +54,10 @@ def test_periodic_data_loss_never_corrupts(drop_mod, drop_phase,
         config=OpenMXConfig(pinning_mode=PinningMode.OVERLAP_CACHE,
                             resend_timeout_ns=5 * MILLISECOND)
     )
-    counter = {"n": 0}
-    kinds = (PullReply, PullRequest) if drop_requests else (PullReply,)
-
-    def rule(frame):
-        if isinstance(frame.payload, kinds):
-            counter["n"] += 1
-            return counter["n"] % drop_mod == drop_phase % drop_mod
-        return False
-
-    cluster.fabric.drop_rule = rule
+    kinds = (("PullReply", "PullRequest") if drop_requests
+             else ("PullReply",))
+    cluster.fabric.add_fault_injector(
+        PeriodicDrop(drop_mod, phase=drop_phase,
+                     match=FrameMatch(kinds=kinds))
+    )
     run_transfer(cluster, 1 * 1024 * 1024 + seed, seed)
