@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Flag shape drift between two ``--json`` result files.
+
+CI regenerates the quick experiment sweep and compares it against the
+committed baseline (``benchmarks/baseline_results.json``) with
+:func:`repro.experiments.runner.compare_results`.  Any numeric leaf that
+moved by more than the tolerance (default 2%) fails the job — the
+simulation is deterministic, so on identical code the diff must be empty
+and *any* drift means a change altered reproduced results without
+refreshing the baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_drift.py \
+        benchmarks/baseline_results.json fresh.json [--tolerance 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import compare_results, load_results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline results JSON")
+    parser.add_argument("fresh", help="freshly generated results JSON")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative drift tolerance (default 0.02)")
+    args = parser.parse_args(argv)
+
+    diffs = compare_results(load_results(args.baseline),
+                            load_results(args.fresh),
+                            rel_tolerance=args.tolerance)
+    if diffs:
+        print(f"{len(diffs)} leaf/leaves drifted more than "
+              f"{args.tolerance:.0%} vs {args.baseline}:", file=sys.stderr)
+        for line in diffs:
+            print(f"  {line}", file=sys.stderr)
+        print("If the change is intentional, regenerate the baseline:\n"
+              "  PYTHONPATH=src python -m repro.experiments "
+              "--json benchmarks/baseline_results.json", file=sys.stderr)
+        return 1
+    print(f"no drift beyond {args.tolerance:.0%} "
+          f"({args.baseline} vs {args.fresh})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

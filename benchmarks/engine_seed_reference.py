@@ -1,0 +1,436 @@
+"""Discrete-event simulation engine.
+
+This is the foundational substrate of the reproduction: every other layer
+(hardware, kernel, Open-MX protocol, MPI) is expressed as generator-based
+processes scheduled by the :class:`Environment` defined here.
+
+The engine is a small, deterministic SimPy-like kernel:
+
+* time is an integer number of nanoseconds (no floating point drift),
+* events carry a value or an exception and run callbacks when *processed*,
+* processes are Python generators that ``yield`` events and resume when the
+  yielded event fires,
+* ties in the event queue are broken by insertion order, which makes every
+  simulation run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation engine itself."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies ``cause`` which the interrupted process
+    can inspect (e.g. a retransmission timer firing, or a forced unpin).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle markers.
+_PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    schedules it for processing at the current simulation time, after which
+    its callbacks run and any waiting processes resume.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_waiters", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._scheduled = False
+        self._waiters = 0
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (callback use)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator may ``yield`` any :class:`Event`. If the yielded event
+    fails and the generator does not catch the exception, the process fails
+    with it; if nobody is waiting on the process either, the exception
+    propagates out of :meth:`Environment.run` (crashes are never silent).
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = Initialize(env)
+        self._target.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._target is None:
+            raise SimulationError(f"cannot interrupt {self.name} before it starts")
+        env = self.env
+        interrupt_ev = Event(env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        # Detach from the event we were waiting on; deliver the interrupt.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            if isinstance(target, Event):
+                target._waiters = max(0, target._waiters - 1)
+        interrupt_ev.callbacks = [self._resume]
+        env._schedule(interrupt_ev)
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_target = self.generator.send(event._value)
+                else:
+                    # Mark the failure as handled: it is being delivered.
+                    event._defused = True
+                    exc = event._value
+                    next_target = self.generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self)
+                return
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env._schedule(self)
+                return
+
+            if not isinstance(next_target, Event):
+                event = Event(env)
+                event._ok = False
+                event._value = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_target!r}"
+                )
+                continue
+            if next_target.env is not env:
+                raise SimulationError("yielded event belongs to another environment")
+            if next_target.processed or (
+                next_target.triggered and next_target.callbacks is None
+            ):
+                # Already processed: resume immediately with its value.
+                event = next_target
+                continue
+            if next_target.triggered:
+                # Triggered but not yet processed; wait for processing.
+                pass
+            next_target.callbacks.append(self._resume)
+            next_target._waiters += 1
+            self._target = next_target
+            return
+
+
+class Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all events must share one environment")
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed or (ev.triggered and ev.callbacks is None):
+                self._check(ev)
+            elif ev.triggered:
+                ev.callbacks.append(self._check)
+            else:
+                ev.callbacks.append(self._check)
+        # A condition may have been satisfied synchronously above.
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count as results: a Timeout is "triggered"
+        # from birth (its fire time is fixed) but has not happened yet.
+        return {ev: ev._value for ev in self.events if ev.processed}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when all constituent events fire (fails fast on first failure)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """Holds the clock and the event queue; executes the simulation."""
+
+    def __init__(self, initial_time: int = 0):
+        self._now = int(initial_time)
+        self._queue: list[tuple[int, int, Event]] = []
+        self._eid = 0
+        self._active = False
+        # Engine-level observability: plain attributes so the hot path stays
+        # cheap; run() mirrors deltas into `metrics` (a repro.obs
+        # MetricRegistry, duck-typed to keep this module dependency-free)
+        # when one is attached.
+        self.events_processed = 0
+        self.wall_time_s = 0.0
+        self.metrics = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> int | None:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        self.events_processed += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        elif not event._ok and not event._defused:
+            # A failed event nobody waited for: crash loudly.
+            raise event._value
+
+    def run(self, until: int | Event | None = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be an absolute time (ns) or an :class:`Event`; in the
+        latter case the event's value is returned (or its exception raised).
+        """
+        if self._active:
+            raise SimulationError("run() is not reentrant")
+        stop_event: Event | None = None
+        deadline: int | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = int(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"until={deadline} is in the past (now={self._now})"
+                )
+        self._active = True
+        wall_start = _time.perf_counter()
+        events_start = self.events_processed
+        now_start = self._now
+        try:
+            while self._queue:
+                if stop_event is not None and stop_event.processed:
+                    break
+                if deadline is not None and self._queue[0][0] > deadline:
+                    self._now = deadline
+                    break
+                self.step()
+        finally:
+            self._active = False
+            wall = _time.perf_counter() - wall_start
+            self.wall_time_s += wall
+            if self.metrics is not None:
+                m = self.metrics
+                m.counter("sim_events_processed",
+                          "events executed by the simulation engine").inc(
+                    self.events_processed - events_start)
+                m.counter("sim_time_ns",
+                          "simulated nanoseconds elapsed across run() calls").inc(
+                    self._now - now_start)
+                m.counter("sim_wall_time_us",
+                          "host wall-clock microseconds spent inside run()").inc(
+                    int(wall * 1e6))
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run() ran out of events before the stop event triggered"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if deadline is not None and not self._queue:
+            self._now = max(self._now, deadline)
+        return None

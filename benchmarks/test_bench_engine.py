@@ -1,0 +1,50 @@
+"""Benchmark: raw engine dispatch throughput (``repro.sim.bench``).
+
+Unlike the experiment benchmarks this one also carries correctness
+assertions: the Timeout free-list must actually engage on the retransmit
+idiom, and the A/B harness must report identical event counts for the
+frozen seed engine and the current one (the optimization contract — speed
+may change, simulated behavior may not).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.bench import SCENARIOS, run_ab, run_scenario
+
+from benchmarks.conftest import full_sweep
+
+SEED_ENGINE = Path(__file__).with_name("engine_seed_reference.py")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_engine_scenario(run_once, name):
+    report = run_once(run_scenario, name, quick=not full_sweep(), repeat=1)
+    assert report["events"] > 0
+    assert report["events_per_sec"] > 0
+    print()
+    print(f"{name}: {report['events']} events, "
+          f"{report['events_per_sec']:,} events/sec, "
+          f"{report['timeouts_recycled']} timeouts recycled "
+          f"({report['timeouts_reused']} reused)")
+
+
+def test_timer_churn_engages_free_list():
+    # The whole point of the fast path: cancelled retransmit timers are
+    # recycled, and later timeout() calls are served from the pool.
+    report = run_scenario("timer_churn", quick=True, repeat=1)
+    assert report["timeouts_recycled"] > 0
+    assert report["timeouts_reused"] > 0
+
+
+def test_ab_reference_agrees_on_event_counts(run_once):
+    # run_ab raises SystemExit if the seed engine and the current engine
+    # disagree on any scenario's event count — the determinism guardrail.
+    report = run_once(run_ab, str(SEED_ENGINE), quick=True, repeat=1)
+    assert report["total"]["events"] > 0
+    assert report["total"]["speedup"] > 0
+    print()
+    for name, row in report["scenarios"].items():
+        print(f"{name}: {row['speedup']:.2f}x vs seed engine")
+    print(f"total: {report['total']['speedup']:.2f}x")

@@ -5,9 +5,19 @@ Usage::
     python -m repro.experiments                 # quick sweep (a few minutes)
     python -m repro.experiments --full          # the paper's full size axis
     python -m repro.experiments table1          # one artifact only
+    python -m repro.experiments --jobs 4        # fan sweep points out across
+                                                # 4 worker processes
+    python -m repro.experiments --cache         # reuse results cached by a
+                                                # prior run of identical code
     python -m repro.experiments --json out.json # also save machine-readable results
     python -m repro.experiments --metrics m.json  # dump the obs metric snapshot
                                                   # (render: python -m repro.obs m.json)
+
+Determinism contract: ``--jobs N`` and ``--cache`` never change any output
+byte — the fan-out preserves submission order and merges worker metric
+registries deterministically (see :mod:`repro.experiments.parallel`), and
+the cache replays the recorded ``(result, registry)`` pairs.  The test
+suite enforces this.
 """
 
 from __future__ import annotations
@@ -45,12 +55,41 @@ def _take_path_flag(argv: list[str], flag: str) -> tuple[list[str], str | None]:
     return argv[:idx] + argv[idx + 2:], argv[idx + 1]
 
 
+def _take_jobs_flag(argv: list[str]) -> tuple[list[str], int]:
+    if "--jobs" not in argv:
+        return argv, 1
+    idx = argv.index("--jobs")
+    if idx + 1 >= len(argv):
+        raise SystemExit("error: --jobs requires a worker count")
+    try:
+        jobs = int(argv[idx + 1])
+    except ValueError:
+        raise SystemExit(f"error: --jobs needs an integer, got {argv[idx + 1]!r}")
+    if jobs < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
+    return argv[:idx] + argv[idx + 2:], jobs
+
+
+def _take_cache_flag(argv: list[str]):
+    """``--cache`` / ``--cache-dir DIR``; returns (argv, ResultCache | None)."""
+    argv, cache_dir = _take_path_flag(argv, "--cache-dir")
+    enabled = "--cache" in argv
+    argv = [a for a in argv if a != "--cache"]
+    if not enabled and cache_dir is None:
+        return argv, None
+    from repro.experiments.cache import ResultCache
+
+    return argv, ResultCache(cache_dir) if cache_dir else ResultCache()
+
+
 def main(argv: list[str]) -> int:
     from repro.obs import MetricRegistry, use_registry, write_snapshot
 
     full = "--full" in argv
     argv, json_path = _take_path_flag(argv, "--json")
     argv, metrics_path = _take_path_flag(argv, "--metrics")
+    argv, jobs = _take_jobs_flag(argv)
+    argv, cache = _take_cache_flag(argv)
     collected: dict[str, object] = {}
     known = {
         "table1", "figure6", "figure7", "table2", "overlap-miss", "ablations",
@@ -70,7 +109,11 @@ def main(argv: list[str]) -> int:
     # the end covers the whole session's kernels, NICs and drivers.
     registry = MetricRegistry()
     with use_registry(registry):
-        _run_wanted(wanted, sizes, collected)
+        _run_wanted(wanted, sizes, collected, jobs=jobs, cache=cache)
+    if cache is not None:
+        # stderr, so a warm run's stdout is byte-identical to a cold one.
+        print(f"(cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"in {cache.directory})", file=sys.stderr)
     if metrics_path is not None:
         write_snapshot(metrics_path, registry)
         print(f"(metrics snapshot saved to {metrics_path}; "
@@ -83,32 +126,43 @@ def main(argv: list[str]) -> int:
     return 0
 
 
-def _run_wanted(wanted: set[str], sizes, collected: dict[str, object]) -> None:
+def _run_wanted(wanted: set[str], sizes, collected: dict[str, object],
+                jobs: int = 1, cache=None) -> None:
+    from repro.experiments.parallel import parallel_map
+
+    def one(fn, **kwargs):
+        # Single-task artifacts still route through parallel_map so the
+        # result cache covers them too.
+        return parallel_map([(fn, kwargs)], jobs=1, cache=cache)[0]
+
     if "table1" in wanted:
-        collected["table1"] = run_table1()
+        collected["table1"] = one(run_table1)
         print(format_table1(collected["table1"]))
         print()
     if "figure6" in wanted:
-        collected["figure6"] = run_figure6(sizes)
+        collected["figure6"] = run_figure6(sizes, jobs=jobs, cache=cache)
         print(format_series_table(collected["figure6"],
                                   "Figure 6: IMB PingPong (MiB/s)"))
         print()
     if "figure7" in wanted:
-        collected["figure7"] = run_figure7(sizes)
+        collected["figure7"] = run_figure7(sizes, jobs=jobs, cache=cache)
         print(format_series_table(collected["figure7"],
                                   "Figure 7: IMB PingPong (MiB/s)"))
         print()
     if "table2" in wanted:
-        collected["table2"] = run_table2()
+        collected["table2"] = one(run_table2)
         print(format_table2(collected["table2"]))
         print()
     if "overlap-miss" in wanted:
-        miss = run_miss_probability()
+        # Two independent measurements: fan them out as a pair.
+        miss, over = parallel_map(
+            [(run_miss_probability, {}), (run_overloaded_core, {})],
+            jobs=jobs, cache=cache,
+        )
         collected["miss_probability"] = miss
         print("Section 4.3: overlap-miss probability under regular load")
         print(f"  {miss.overlap_misses} misses / {miss.data_packets} data "
               f"packets (rate {miss.miss_rate:.2e}; paper < 1e-4)")
-        over = run_overloaded_core()
         collected["overloaded_core"] = over
         print("Section 4.3: overloaded interrupt core")
         print(f"  normal {over.normal_mib_s:.0f} MiB/s -> overloaded "
@@ -121,22 +175,22 @@ def _run_wanted(wanted: set[str], sizes, collected: dict[str, object]) -> None:
               f"{over.pin_wait_p99_ns / 1e3:.0f} us")
         print()
     if "motivation" in wanted:
-        collected["motivation"] = run_motivation()
+        collected["motivation"] = one(run_motivation)
         print(format_motivation(collected["motivation"]))
         print()
     if "reuse-sweep" in wanted:
-        collected["reuse_sweep"] = run_reuse_sweep()
+        collected["reuse_sweep"] = run_reuse_sweep(jobs=jobs, cache=cache)
         print(format_reuse_sweep(collected["reuse_sweep"]))
         print()
     if "ablations" in wanted:
         print("Ablation: pipelined registration vs driver-level overlap")
-        for p in run_pipeline_ablation():
+        for p in run_pipeline_ablation(jobs=jobs, cache=cache):
             print(f"  {p.label:32s} {p.value:8.1f} MiB/s")
         print("Ablation: region cache capacity vs hit rate (16 buffers cycled)")
-        for p in run_cache_capacity_ablation():
+        for p in run_cache_capacity_ablation(jobs=jobs, cache=cache):
             print(f"  {p.label:32s} {p.value:8.2f}")
         print("Ablation: per-packet overlap descriptor-check cost")
-        for p in run_overlap_check_ablation():
+        for p in run_overlap_check_ablation(jobs=jobs, cache=cache):
             print(f"  {p.label:32s} {p.value:8.1f} MiB/s")
 
 

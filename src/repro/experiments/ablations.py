@@ -17,11 +17,16 @@ from dataclasses import dataclass, replace
 
 from repro.baselines import PipelinedSender
 from repro.cluster import build_cluster
+from repro.experiments.parallel import parallel_map
 from repro.openmx import OpenMXConfig, PinningMode
 from repro.util.units import KIB, MIB, throughput_mib_s
 
 __all__ = [
     "AblationPoint",
+    "cache_capacity_point",
+    "overlap_check_point",
+    "overlap_point",
+    "pipeline_point",
     "run_cache_capacity_ablation",
     "run_overlap_check_ablation",
     "run_pipeline_ablation",
@@ -53,30 +58,27 @@ def _timed_transfer(cluster, nbytes, reuse, send_fn, recv_fn):
     return times[-1]
 
 
-def run_pipeline_ablation(nbytes: int = 8 * MIB,
-                          chunk_sizes: list[int] | None = None) -> list[AblationPoint]:
-    """Steady-state throughput: pipelined registration at several chunk
-    sizes vs the paper's driver-level overlap."""
-    chunks = chunk_sizes if chunk_sizes is not None else [
-        64 * KIB, 128 * KIB, 512 * KIB, 2 * MIB
-    ]
-    points = []
-    for chunk in chunks:
-        cluster = build_cluster(
-            config=OpenMXConfig(pinning_mode=PinningMode.PIN_PER_COMM)
-        )
-        s, r = cluster.lib(0), cluster.lib(1)
-        sp, rp = cluster.nodes[0].procs[0], cluster.nodes[1].procs[0]
-        sbuf, rbuf = sp.malloc(nbytes), rp.malloc(nbytes)
-        sp.write(sbuf, b"p" * nbytes)
-        tx, rx = PipelinedSender(s, chunk), PipelinedSender(r, chunk)
-        elapsed = _timed_transfer(
-            cluster, nbytes, 2,
-            lambda i: tx.send(sbuf, nbytes, r.board, r.endpoint_id, i * 1000),
-            lambda i: rx.recv(rbuf, nbytes, i * 1000),
-        )
-        points.append(AblationPoint(f"pipelined {chunk // KIB}kB chunks",
-                                    throughput_mib_s(nbytes, elapsed)))
+def pipeline_point(chunk: int, nbytes: int) -> AblationPoint:
+    """Pipelined-registration throughput at one chunk size."""
+    cluster = build_cluster(
+        config=OpenMXConfig(pinning_mode=PinningMode.PIN_PER_COMM)
+    )
+    s, r = cluster.lib(0), cluster.lib(1)
+    sp, rp = cluster.nodes[0].procs[0], cluster.nodes[1].procs[0]
+    sbuf, rbuf = sp.malloc(nbytes), rp.malloc(nbytes)
+    sp.write(sbuf, b"p" * nbytes)
+    tx, rx = PipelinedSender(s, chunk), PipelinedSender(r, chunk)
+    elapsed = _timed_transfer(
+        cluster, nbytes, 2,
+        lambda i: tx.send(sbuf, nbytes, r.board, r.endpoint_id, i * 1000),
+        lambda i: rx.recv(rbuf, nbytes, i * 1000),
+    )
+    return AblationPoint(f"pipelined {chunk // KIB}kB chunks",
+                         throughput_mib_s(nbytes, elapsed))
+
+
+def overlap_point(nbytes: int) -> AblationPoint:
+    """The paper's driver-level overlapped pinning, same workload."""
     cluster = build_cluster(config=OpenMXConfig(pinning_mode=PinningMode.OVERLAP))
     s, r = cluster.lib(0), cluster.lib(1)
     sp, rp = cluster.nodes[0].procs[0], cluster.nodes[1].procs[0]
@@ -92,64 +94,88 @@ def run_pipeline_ablation(nbytes: int = 8 * MIB,
         yield from r.wait(req)
 
     elapsed = _timed_transfer(cluster, nbytes, 2, send_once, recv_once)
-    points.append(AblationPoint("driver-level overlap (paper)",
-                                throughput_mib_s(nbytes, elapsed)))
-    return points
+    return AblationPoint("driver-level overlap (paper)",
+                         throughput_mib_s(nbytes, elapsed))
+
+
+def run_pipeline_ablation(nbytes: int = 8 * MIB,
+                          chunk_sizes: list[int] | None = None,
+                          jobs: int = 1, cache=None) -> list[AblationPoint]:
+    """Steady-state throughput: pipelined registration at several chunk
+    sizes vs the paper's driver-level overlap."""
+    chunks = chunk_sizes if chunk_sizes is not None else [
+        64 * KIB, 128 * KIB, 512 * KIB, 2 * MIB
+    ]
+    tasks = [(pipeline_point, {"chunk": chunk, "nbytes": nbytes})
+             for chunk in chunks]
+    tasks.append((overlap_point, {"nbytes": nbytes}))
+    return parallel_map(tasks, jobs=jobs, cache=cache)
+
+
+def cache_capacity_point(cap: int, nbuffers: int, nbytes: int) -> AblationPoint:
+    """Hit rate cycling ``nbuffers`` buffers through an LRU of ``cap``."""
+    cluster = build_cluster(
+        config=OpenMXConfig(pinning_mode=PinningMode.CACHE,
+                            region_cache_capacity=cap)
+    )
+    env = cluster.env
+    s, r = cluster.lib(0), cluster.lib(1)
+    sp, rp = cluster.nodes[0].procs[0], cluster.nodes[1].procs[0]
+    sbufs = [sp.malloc(nbytes) for _ in range(nbuffers)]
+    rbuf = rp.malloc(nbytes)
+    for buf in sbufs:
+        sp.write(buf, b"c" * nbytes)
+
+    def sender():
+        for round_ in range(2):
+            for i, buf in enumerate(sbufs):
+                req = yield from s.isend(buf, nbytes, r.board,
+                                         r.endpoint_id, round_ * 100 + i)
+                yield from s.wait(req)
+
+    def receiver():
+        for round_ in range(2):
+            for i in range(nbuffers):
+                req = yield from r.irecv(rbuf, nbytes, round_ * 100 + i)
+                yield from r.wait(req)
+
+    done = env.all_of([env.process(sender()), env.process(receiver())])
+    env.run(until=done)
+    c = cluster.nodes[0].driver.counters
+    hits, misses = c["region_cache_hit"], c["region_cache_miss"]
+    return AblationPoint(
+        f"capacity {cap}", hits / (hits + misses) if hits + misses else 0.0
+    )
 
 
 def run_cache_capacity_ablation(nbuffers: int = 16, nbytes: int = 256 * KIB,
-                                capacities: list[int] | None = None) -> list[AblationPoint]:
+                                capacities: list[int] | None = None,
+                                jobs: int = 1, cache=None) -> list[AblationPoint]:
     """Cycle through ``nbuffers`` distinct buffers; vary the LRU capacity."""
     caps = capacities if capacities is not None else [4, 8, 16, 32]
-    points = []
-    for cap in caps:
-        cluster = build_cluster(
-            config=OpenMXConfig(pinning_mode=PinningMode.CACHE,
-                                region_cache_capacity=cap)
-        )
-        env = cluster.env
-        s, r = cluster.lib(0), cluster.lib(1)
-        sp, rp = cluster.nodes[0].procs[0], cluster.nodes[1].procs[0]
-        sbufs = [sp.malloc(nbytes) for _ in range(nbuffers)]
-        rbuf = rp.malloc(nbytes)
-        for buf in sbufs:
-            sp.write(buf, b"c" * nbytes)
+    tasks = [(cache_capacity_point,
+              {"cap": cap, "nbuffers": nbuffers, "nbytes": nbytes})
+             for cap in caps]
+    return parallel_map(tasks, jobs=jobs, cache=cache)
 
-        def sender():
-            for round_ in range(2):
-                for i, buf in enumerate(sbufs):
-                    req = yield from s.isend(buf, nbytes, r.board,
-                                             r.endpoint_id, round_ * 100 + i)
-                    yield from s.wait(req)
 
-        def receiver():
-            for round_ in range(2):
-                for i in range(nbuffers):
-                    req = yield from r.irecv(rbuf, nbytes, round_ * 100 + i)
-                    yield from r.wait(req)
+def overlap_check_point(cost: int, nbytes: int) -> AblationPoint:
+    """Throughput with one per-packet descriptor-test cost."""
+    from repro.workloads import imb_pingpong
 
-        done = env.all_of([env.process(sender()), env.process(receiver())])
-        env.run(until=done)
-        c = cluster.nodes[0].driver.counters
-        hits, misses = c["region_cache_hit"], c["region_cache_miss"]
-        points.append(AblationPoint(
-            f"capacity {cap}", hits / (hits + misses) if hits + misses else 0.0
-        ))
-    return points
+    cluster = build_cluster(
+        config=OpenMXConfig(pinning_mode=PinningMode.OVERLAP,
+                            overlap_check_ns=cost)
+    )
+    result = imb_pingpong(cluster, nbytes, iterations=2)
+    return AblationPoint(f"check {cost} ns", result.throughput_mib_s)
 
 
 def run_overlap_check_ablation(nbytes: int = 16 * MIB,
-                               check_costs: list[int] | None = None) -> list[AblationPoint]:
+                               check_costs: list[int] | None = None,
+                               jobs: int = 1, cache=None) -> list[AblationPoint]:
     """Throughput sensitivity to the per-packet descriptor-test cost."""
     costs = check_costs if check_costs is not None else [0, 30, 150, 600]
-    from repro.workloads import imb_pingpong
-
-    points = []
-    for cost in costs:
-        cluster = build_cluster(
-            config=OpenMXConfig(pinning_mode=PinningMode.OVERLAP,
-                                overlap_check_ns=cost)
-        )
-        result = imb_pingpong(cluster, nbytes, iterations=2)
-        points.append(AblationPoint(f"check {cost} ns", result.throughput_mib_s))
-    return points
+    tasks = [(overlap_check_point, {"cost": cost, "nbytes": nbytes})
+             for cost in costs]
+    return parallel_map(tasks, jobs=jobs, cache=cache)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster import build_cluster
+from repro.experiments.parallel import parallel_map
 from repro.hw.specs import CpuSpec, XEON_E5460
 from repro.openmx import OpenMXConfig, PinningMode
 from repro.workloads import imb_pingpong
@@ -23,6 +24,7 @@ from repro.util.units import KIB, MIB, fmt_size
 __all__ = [
     "FIGURE_SIZES",
     "PingpongSeries",
+    "pingpong_point",
     "run_figure6",
     "run_figure7",
     "run_pingpong_series",
@@ -56,51 +58,70 @@ def _iters_for(nbytes: int) -> int:
     return 2
 
 
+def pingpong_point(mode: PinningMode, use_ioat: bool, nbytes: int,
+                   cpu: CpuSpec = XEON_E5460) -> tuple[int, float]:
+    """One (size, MiB/s) point on a fresh cluster — the unit of fan-out."""
+    cluster = build_cluster(
+        cpu=cpu,
+        config=OpenMXConfig(pinning_mode=mode, use_ioat=use_ioat),
+    )
+    result = imb_pingpong(cluster, nbytes, iterations=_iters_for(nbytes))
+    return (nbytes, result.throughput_mib_s)
+
+
 def run_pingpong_series(label: str, mode: PinningMode, use_ioat: bool,
-                        sizes: list[int], cpu: CpuSpec = XEON_E5460) -> PingpongSeries:
+                        sizes: list[int], cpu: CpuSpec = XEON_E5460,
+                        jobs: int = 1, cache=None) -> PingpongSeries:
     """Measure one curve.  Each point builds a fresh cluster so modes never
-    contaminate each other."""
-    points = []
-    for nbytes in sizes:
-        cluster = build_cluster(
-            cpu=cpu,
-            config=OpenMXConfig(pinning_mode=mode, use_ioat=use_ioat),
-        )
-        result = imb_pingpong(cluster, nbytes, iterations=_iters_for(nbytes))
-        points.append((nbytes, result.throughput_mib_s))
-    return PingpongSeries(label, tuple(points))
+    contaminate each other — which also makes every point independently
+    parallelizable."""
+    return _run_series_set([(label, mode, use_ioat)], sizes, cpu,
+                           jobs, cache)[0]
 
 
-def run_figure6(sizes: list[int] | None = None,
-                cpu: CpuSpec = XEON_E5460) -> list[PingpongSeries]:
+def _run_series_set(specs: list[tuple[str, PinningMode, bool]],
+                    sizes: list[int], cpu: CpuSpec,
+                    jobs: int, cache) -> list[PingpongSeries]:
+    """Fan every (series, size) point of a figure out as one flat task list."""
+    tasks = [
+        (pingpong_point,
+         {"mode": mode, "use_ioat": use_ioat, "nbytes": nbytes, "cpu": cpu})
+        for _, mode, use_ioat in specs
+        for nbytes in sizes
+    ]
+    flat = parallel_map(tasks, jobs=jobs, cache=cache)
+    series = []
+    for i, (label, _, _) in enumerate(specs):
+        points = flat[i * len(sizes):(i + 1) * len(sizes)]
+        series.append(PingpongSeries(label, tuple(points)))
+    return series
+
+
+def run_figure6(sizes: list[int] | None = None, cpu: CpuSpec = XEON_E5460,
+                jobs: int = 1, cache=None) -> list[PingpongSeries]:
     """Figure 6: pin-once-per-communication vs permanent pinning, ±I/OAT."""
     sizes = sizes if sizes is not None else FIGURE_SIZES
-    return [
-        run_pingpong_series("Open-MX - Pin once per Communication",
-                            PinningMode.PIN_PER_COMM, False, sizes, cpu),
-        run_pingpong_series("Open-MX - Permanent Pinning",
-                            PinningMode.PERMANENT, False, sizes, cpu),
-        run_pingpong_series("Open-MX + I/OAT - Pin once per Communication",
-                            PinningMode.PIN_PER_COMM, True, sizes, cpu),
-        run_pingpong_series("Open-MX + I/OAT - Permanent-Pinning",
-                            PinningMode.PERMANENT, True, sizes, cpu),
-    ]
+    return _run_series_set([
+        ("Open-MX - Pin once per Communication",
+         PinningMode.PIN_PER_COMM, False),
+        ("Open-MX - Permanent Pinning", PinningMode.PERMANENT, False),
+        ("Open-MX + I/OAT - Pin once per Communication",
+         PinningMode.PIN_PER_COMM, True),
+        ("Open-MX + I/OAT - Permanent-Pinning", PinningMode.PERMANENT, True),
+    ], sizes, cpu, jobs, cache)
 
 
-def run_figure7(sizes: list[int] | None = None,
-                cpu: CpuSpec = XEON_E5460) -> list[PingpongSeries]:
+def run_figure7(sizes: list[int] | None = None, cpu: CpuSpec = XEON_E5460,
+                jobs: int = 1, cache=None) -> list[PingpongSeries]:
     """Figure 7: regular vs overlapped vs cache vs overlapped+cache."""
     sizes = sizes if sizes is not None else FIGURE_SIZES
-    return [
-        run_pingpong_series("Open-MX - Regular Pinning",
-                            PinningMode.PIN_PER_COMM, False, sizes, cpu),
-        run_pingpong_series("Open-MX - Overlapped Pinning",
-                            PinningMode.OVERLAP, False, sizes, cpu),
-        run_pingpong_series("Open-MX - Pinning Cache",
-                            PinningMode.CACHE, False, sizes, cpu),
-        run_pingpong_series("Open-MX - Overlapped Pinning Cache",
-                            PinningMode.OVERLAP_CACHE, False, sizes, cpu),
-    ]
+    return _run_series_set([
+        ("Open-MX - Regular Pinning", PinningMode.PIN_PER_COMM, False),
+        ("Open-MX - Overlapped Pinning", PinningMode.OVERLAP, False),
+        ("Open-MX - Pinning Cache", PinningMode.CACHE, False),
+        ("Open-MX - Overlapped Pinning Cache",
+         PinningMode.OVERLAP_CACHE, False),
+    ], sizes, cpu, jobs, cache)
 
 
 def format_series_table(series: list[PingpongSeries], title: str) -> str:

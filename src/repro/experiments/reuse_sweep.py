@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster import build_cluster
+from repro.experiments.parallel import parallel_map
 from repro.openmx import OpenMXConfig, PinningMode
 from repro.util.units import MIB
 from repro.workloads.patterns import run_reuse_pattern
 
-__all__ = ["ReuseSweepRow", "run_reuse_sweep"]
+__all__ = ["ReuseSweepRow", "reuse_point", "run_reuse_sweep"]
 
 REUSE_POINTS = [0.0, 0.25, 0.5, 0.75, 1.0]
 
@@ -42,25 +43,38 @@ class ReuseSweepRow:
         return 100.0 * (self.overlap_mib_s / self.regular_mib_s - 1.0)
 
 
-def _one(mode: PinningMode, nbytes: int, messages: int, reuse: float):
+def reuse_point(mode: PinningMode, nbytes: int, messages: int, reuse: float):
+    """One (mode, reuse fraction) measurement — the unit of fan-out."""
     cluster = build_cluster(config=OpenMXConfig(pinning_mode=mode))
     return run_reuse_pattern(cluster, nbytes, messages, reuse)
 
 
+_SWEEP_MODES = (PinningMode.PIN_PER_COMM, PinningMode.CACHE,
+                PinningMode.OVERLAP)
+
+
 def run_reuse_sweep(nbytes: int = 1 * MIB, messages: int = 12,
-                    points: list[float] | None = None) -> list[ReuseSweepRow]:
+                    points: list[float] | None = None,
+                    jobs: int = 1, cache=None) -> list[ReuseSweepRow]:
+    fractions = points if points is not None else REUSE_POINTS
+    tasks = [
+        (reuse_point,
+         {"mode": mode, "nbytes": nbytes, "messages": messages,
+          "reuse": reuse})
+        for reuse in fractions
+        for mode in _SWEEP_MODES
+    ]
+    flat = parallel_map(tasks, jobs=jobs, cache=cache)
     rows = []
-    for reuse in (points if points is not None else REUSE_POINTS):
-        regular = _one(PinningMode.PIN_PER_COMM, nbytes, messages, reuse)
-        cache = _one(PinningMode.CACHE, nbytes, messages, reuse)
-        overlap = _one(PinningMode.OVERLAP, nbytes, messages, reuse)
+    for i, reuse in enumerate(fractions):
+        regular, cached, overlap = flat[i * 3:(i + 1) * 3]
         rows.append(
             ReuseSweepRow(
                 reuse_fraction=reuse,
                 regular_mib_s=regular.throughput_mib_s,
-                cache_mib_s=cache.throughput_mib_s,
+                cache_mib_s=cached.throughput_mib_s,
                 overlap_mib_s=overlap.throughput_mib_s,
-                cache_hit_rate=cache.hit_rate,
+                cache_hit_rate=cached.hit_rate,
             )
         )
     return rows

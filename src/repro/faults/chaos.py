@@ -16,6 +16,12 @@ CLI::
 
     python -m repro.faults.chaos --seed 7 --steps 40
     python -m repro.faults.chaos --seeds 0 50 --steps 20 --json
+    python -m repro.faults.chaos --seeds 0 50 --jobs 4   # fan seeds out
+
+``--jobs N`` runs seeds in worker processes via
+:func:`repro.experiments.parallel.parallel_map`; results print in seed
+order either way, so serial and parallel output are byte-identical (each
+seed is an independent simulation — the determinism tests pin this).
 """
 
 from __future__ import annotations
@@ -150,7 +156,8 @@ def run_chaos(seed: int, steps: int, mode: PinningMode | None = None,
         def transfer():
             both = env.all_of([env.process(sender(), name=f"chaos.s{tag}"),
                                env.process(receiver(), name=f"chaos.r{tag}")])
-            yield env.any_of([both, env.timeout(STEP_BUDGET_NS)])
+            budget = env.timeout(STEP_BUDGET_NS)
+            yield env.any_of([both, budget])
             if not both.triggered:
                 # Pair-level recovery: MX keeps no connection state, so a
                 # sender that gave up never tells the receiver.  Drain the
@@ -165,6 +172,7 @@ def run_chaos(seed: int, steps: int, mode: PinningMode | None = None,
                         and rreq is not None):
                     rl.cancel(rreq)
                 yield both
+            budget.cancel()  # recycle the 100 ms budget timer if unspent
             sbuf.busy = rbuf.busy = False
 
         return env.process(transfer(), name=f"chaos.t{tag}")
@@ -282,13 +290,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="pin mode (default: rotates by seed)")
     parser.add_argument("--json", action="store_true",
                         help="emit one JSON object per seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the seed fan-out "
+                             "(default 1: in-process)")
     args = parser.parse_args(argv)
 
     seeds = range(*args.seeds) if args.seeds else [args.seed]
     mode = PinningMode(args.mode) if args.mode else None
+    from repro.experiments.parallel import parallel_map
+
+    results = parallel_map(
+        [(run_chaos, {"seed": seed, "steps": args.steps, "mode": mode})
+         for seed in seeds],
+        jobs=args.jobs,
+    )
     failures = 0
-    for seed in seeds:
-        result = run_chaos(seed, args.steps, mode=mode)
+    for result in results:
         if args.json:
             print(json.dumps(result.as_dict()))
         else:

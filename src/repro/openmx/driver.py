@@ -321,9 +321,9 @@ class OpenMXDriver:
         rounds = 0
         while True:
             delay = self.config.resend_delay_ns(rounds, key=state.seq)
-            result = yield self.env.any_of(
-                [state.acked, self.env.timeout(delay)]
-            )
+            timer = self.env.timeout(delay)
+            result = yield self.env.any_of([state.acked, timer])
+            timer.cancel()  # recycle the loser; no-op if it fired
             if state.acked in result:
                 return
             if state.seq not in ep.eager_tx:
@@ -470,9 +470,9 @@ class OpenMXDriver:
         marker = state.last_activity_ns
         while not state.done:
             delay = self.config.resend_delay_ns(dead_rounds, key=state.seq)
-            result = yield self.env.any_of(
-                [state.done_event, self.env.timeout(delay)]
-            )
+            timer = self.env.timeout(delay)
+            result = yield self.env.any_of([state.done_event, timer])
+            timer.cancel()  # recycle the loser; no-op if it fired
             if state.done or state.done_event in result:
                 return
             if state.last_activity_ns == marker:
@@ -724,9 +724,9 @@ class OpenMXDriver:
         dead_rounds = 0
         while not state.done:
             delay = self.config.resend_delay_ns(dead_rounds, key=state.handle)
-            result = yield self.env.any_of(
-                [state.done_event, self.env.timeout(delay)]
-            )
+            timer = self.env.timeout(delay)
+            result = yield self.env.any_of([state.done_event, timer])
+            timer.cancel()  # recycle the loser; no-op if it fired
             if state.done or state.done_event in result:
                 return
             if state.bytes_received == state.progress_marker:
@@ -844,6 +844,14 @@ class OpenMXDriver:
         With overlapped pinning the send region may not be fully pinned yet;
         we serve the pinned prefix and drop the rest of the request — the
         receiver re-requests it (overlap-miss, Section 3.3/4.3).
+
+        Replies to an explicit *resend* request are duplicated frame-by-frame.
+        A retransmitted pull means the first exchange was already lost once;
+        under a correlated (e.g. strictly periodic) loss pattern a
+        single-frame endgame can otherwise phase-lock — request passes, its
+        lone reply is the next matched frame and is dropped, forever — until
+        the bounded retransmit gives up.  Two back-to-back copies cannot both
+        be claimed by any periodic pattern, so recovery always converges.
         """
         region = ep.regions.get(pkt.sender_region)
         if region is None:
@@ -882,6 +890,9 @@ class OpenMXDriver:
                 offset=offset, data=data,
             )
             yield from self._xmit(ctx, pkt.src_board, reply)
+            if pkt.resend:
+                yield from self._xmit(ctx, pkt.src_board, reply)
+                self.counters.incr("pull_resend_dup_replies")
             offset += chunk
         self.counters.incr("pull_req_served")
         if served_fallback:

@@ -275,9 +275,9 @@ class OmxLib:
                 continue
             with self.proc.core.request(PRIO_USER) as r:
                 yield r
-                yield self.env.any_of(
-                    [doorbell, self.env.timeout(self.config.poll_slice_ns)]
-                )
+                timer = self.env.timeout(self.config.poll_slice_ns)
+                yield self.env.any_of([doorbell, timer])
+                timer.cancel()  # recycle the loser; no-op if it fired
         return req.status
 
     def wait_all(self, reqs: list[OmxRequest]) -> Generator:
@@ -306,9 +306,9 @@ class OmxLib:
             return
         with self.proc.core.request(PRIO_USER) as r:
             yield r
-            yield self.env.any_of(
-                [doorbell, self.env.timeout(self.config.poll_slice_ns)]
-            )
+            timer = self.env.timeout(self.config.poll_slice_ns)
+            yield self.env.any_of([doorbell, timer])
+            timer.cancel()  # recycle the loser; no-op if it fired
 
     def cancel(self, req: OmxRequest) -> bool:
         """Cancel a posted receive that has not matched yet (mx_cancel).

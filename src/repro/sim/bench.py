@@ -1,0 +1,330 @@
+"""Engine microbenchmark — ``python -m repro.sim.bench``.
+
+Measures raw dispatch throughput (events/sec) of the discrete-event kernel
+on four synthetic workloads that mirror how the protocol layers actually
+drive it:
+
+* ``timer_churn`` — the retransmit idiom: an ack racing a long timer that
+  almost always loses (PR 2's backoff timers create these in volume).
+  Exercises lazy cancellation and the Timeout free-list.
+* ``timeout_ladder`` — many concurrent processes sleeping in a loop; the
+  pure heap + process-resume path.
+* ``event_pingpong`` — two processes alternating via bare events; the
+  succeed/dispatch fast path with a single callback per event.
+* ``condition_fanout`` — ``any_of`` over several timers each round; the
+  condition attach/detach path with dead losers drained at the end.
+
+Every scenario is deterministic, so one timed round gives an exact event
+count; wall time is the only noise, which ``--repeat`` (best-of) tames.
+
+Usage::
+
+    python -m repro.sim.bench                 # full scale, 3 repeats
+    python -m repro.sim.bench --quick         # CI smoke (~1 s)
+    python -m repro.sim.bench --json BENCH_engine.json
+    python -m repro.sim.bench --baseline old.json   # annotate speedups
+    python -m repro.sim.bench --ab benchmarks/engine_seed_reference.py
+
+``--ab`` runs each timed repetition against *both* the current engine and a
+frozen reference engine loaded from the given file, strictly interleaved
+(ref, current, ref, current, ...) within the same process.  On a noisy or
+single-core host this cancels load drift that back-to-back whole-suite runs
+cannot, so the reported speedup is an honest like-for-like ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+import time
+from typing import Any, Callable
+
+from repro.sim.engine import Environment
+
+__all__ = ["SCENARIOS", "run_ab", "run_benchmarks", "run_scenario"]
+
+
+# -- scenarios ----------------------------------------------------------------
+
+
+def _timer_churn(env: Environment, rounds: int, procs: int = 16) -> None:
+    """The retransmit idiom: ack at +10 ns races a timer at +1000 ns."""
+
+    def worker():
+        for _ in range(rounds):
+            ack = env.event()
+            env.timeout(10).callbacks.append(
+                lambda _ev, ack=ack: ack.succeed()
+            )
+            timer = env.timeout(1000)
+            yield env.any_of([ack, timer])
+            cancel = getattr(timer, "cancel", None)
+            if cancel is not None:
+                cancel()
+
+    for _ in range(procs):
+        env.process(worker())
+
+
+def _timeout_ladder(env: Environment, rounds: int, procs: int = 64) -> None:
+    """Many processes sleeping in lockstep: heap + resume throughput."""
+
+    def worker():
+        for _ in range(rounds):
+            yield env.timeout(7)
+
+    for _ in range(procs):
+        env.process(worker())
+
+
+def _event_pingpong(env: Environment, rounds: int) -> None:
+    """Two processes alternating on bare events (single-callback dispatch)."""
+    ping = [env.event()]
+    pong = [env.event()]
+
+    def a():
+        for i in range(rounds):
+            ping[0].succeed(i)
+            yield pong[0]
+            pong[0] = env.event()
+
+    def b():
+        for _ in range(rounds):
+            yield ping[0]
+            ping[0] = env.event()
+            pong[0].succeed()
+
+    env.process(a())
+    env.process(b())
+
+
+def _condition_fanout(env: Environment, rounds: int, width: int = 8) -> None:
+    """any_of over ``width`` timers; one wins, the rest pop dead."""
+
+    def worker():
+        for _ in range(rounds):
+            yield env.any_of([env.timeout(j + 1) for j in range(width)])
+
+    env.process(worker())
+
+
+# name -> (builder, rounds at full scale, rounds at --quick scale)
+SCENARIOS: dict[str, tuple[Callable[..., None], int, int]] = {
+    "timer_churn": (_timer_churn, 6_000, 600),
+    "timeout_ladder": (_timeout_ladder, 3_000, 300),
+    "event_pingpong": (_event_pingpong, 120_000, 12_000),
+    "condition_fanout": (_condition_fanout, 30_000, 3_000),
+}
+
+
+# -- harness ------------------------------------------------------------------
+
+
+def _time_once(env_cls: type, name: str, rounds: int) -> tuple[float, int, int, int]:
+    """One timed round: returns (wall_s, events, recycled, reused)."""
+    builder = SCENARIOS[name][0]
+    env = env_cls()
+    builder(env, rounds)
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    # getattr so the bench also runs against engines without the
+    # free-list (the frozen seed reference used by --ab).
+    return (wall, env.events_processed,
+            getattr(env, "timeouts_recycled", 0),
+            getattr(env, "timeouts_reused", 0))
+
+
+def run_scenario(name: str, quick: bool = False, repeat: int = 3,
+                 env_cls: type = Environment) -> dict[str, Any]:
+    """Run one scenario ``repeat`` times; report the best wall time."""
+    rounds = SCENARIOS[name][2 if quick else 1]
+    best_wall = float("inf")
+    events = recycled = reused = 0
+    for _ in range(repeat):
+        wall, events, recycled, reused = _time_once(env_cls, name, rounds)
+        best_wall = min(best_wall, wall)
+    return {
+        "rounds": rounds,
+        "events": events,
+        "wall_s": round(best_wall, 6),
+        "events_per_sec": round(events / best_wall) if best_wall else 0,
+        "timeouts_recycled": recycled,
+        "timeouts_reused": reused,
+    }
+
+
+def run_benchmarks(quick: bool = False, repeat: int = 3,
+                   scenarios: list[str] | None = None) -> dict[str, Any]:
+    results: dict[str, Any] = {}
+    for name in scenarios or list(SCENARIOS):
+        results[name] = run_scenario(name, quick=quick, repeat=repeat)
+    total_events = sum(r["events"] for r in results.values())
+    total_wall = sum(r["wall_s"] for r in results.values())
+    return {
+        "schema": "repro.bench.engine/v1",
+        "quick": quick,
+        "repeat": repeat,
+        "scenarios": results,
+        "total": {
+            "events": total_events,
+            "wall_s": round(total_wall, 6),
+            "events_per_sec": round(total_events / total_wall) if total_wall else 0,
+        },
+    }
+
+
+def _load_engine(path: str) -> type:
+    """Load an Environment class from a standalone engine module file."""
+    spec = importlib.util.spec_from_file_location("repro_sim_engine_ref", path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot load reference engine from {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.Environment
+
+
+def run_ab(ref_path: str, quick: bool = False, repeat: int = 5,
+           scenarios: list[str] | None = None) -> dict[str, Any]:
+    """Interleaved A/B: reference vs current engine, rep by rep.
+
+    Each repetition times the reference engine and then the current engine
+    on the same scenario before moving on, so slow drift in host load hits
+    both sides equally.  Best-of-``repeat`` per side, per scenario.
+    """
+    ref_cls = _load_engine(ref_path)
+    names = scenarios or list(SCENARIOS)
+    best: dict[str, dict[str, Any]] = {
+        n: {"ref_wall": float("inf"), "cur_wall": float("inf")} for n in names
+    }
+    for _ in range(repeat):
+        for name in names:
+            rounds = SCENARIOS[name][2 if quick else 1]
+            b = best[name]
+            wall, b["ref_events"], _, _ = _time_once(ref_cls, name, rounds)
+            b["ref_wall"] = min(b["ref_wall"], wall)
+            wall, b["cur_events"], b["recycled"], b["reused"] = _time_once(
+                Environment, name, rounds)
+            b["cur_wall"] = min(b["cur_wall"], wall)
+            b["rounds"] = rounds
+    results: dict[str, Any] = {}
+    tot_ref_w = tot_cur_w = 0.0
+    tot_ref_e = tot_cur_e = 0
+    for name in names:
+        b = best[name]
+        if b["ref_events"] != b["cur_events"]:
+            raise SystemExit(
+                f"{name}: engines disagree on event count "
+                f"({b['ref_events']} vs {b['cur_events']}) — not comparable"
+            )
+        ref_eps = round(b["ref_events"] / b["ref_wall"])
+        cur_eps = round(b["cur_events"] / b["cur_wall"])
+        results[name] = {
+            "rounds": b["rounds"],
+            "events": b["cur_events"],
+            "wall_s": round(b["cur_wall"], 6),
+            "events_per_sec": cur_eps,
+            "baseline_wall_s": round(b["ref_wall"], 6),
+            "baseline_events_per_sec": ref_eps,
+            "speedup": round(cur_eps / ref_eps, 3),
+            "timeouts_recycled": b["recycled"],
+            "timeouts_reused": b["reused"],
+        }
+        tot_ref_w += b["ref_wall"]
+        tot_cur_w += b["cur_wall"]
+        tot_ref_e += b["ref_events"]
+        tot_cur_e += b["cur_events"]
+    ref_total_eps = round(tot_ref_e / tot_ref_w) if tot_ref_w else 0
+    cur_total_eps = round(tot_cur_e / tot_cur_w) if tot_cur_w else 0
+    return {
+        "schema": "repro.bench.engine/v1",
+        "quick": quick,
+        "repeat": repeat,
+        "ab_reference": ref_path,
+        "scenarios": results,
+        "total": {
+            "events": tot_cur_e,
+            "wall_s": round(tot_cur_w, 6),
+            "events_per_sec": cur_total_eps,
+            "baseline_wall_s": round(tot_ref_w, 6),
+            "baseline_events_per_sec": ref_total_eps,
+            "speedup": round(cur_total_eps / ref_total_eps, 3)
+            if ref_total_eps else 0.0,
+        },
+    }
+
+
+def annotate_speedup(report: dict[str, Any], baseline: dict[str, Any]) -> None:
+    """Attach per-scenario and aggregate speedups vs a prior report."""
+    base = baseline.get("scenarios", {})
+    for name, r in report["scenarios"].items():
+        b = base.get(name)
+        if b and b.get("events_per_sec"):
+            r["baseline_events_per_sec"] = b["events_per_sec"]
+            r["speedup"] = round(r["events_per_sec"] / b["events_per_sec"], 3)
+    b_total = baseline.get("total", {})
+    if b_total.get("events_per_sec"):
+        report["total"]["baseline_events_per_sec"] = b_total["events_per_sec"]
+        report["total"]["speedup"] = round(
+            report["total"]["events_per_sec"] / b_total["events_per_sec"], 3
+        )
+
+
+def format_report(report: dict[str, Any]) -> str:
+    lines = [f"{'scenario':18s} {'events':>10s} {'wall s':>9s} "
+             f"{'events/sec':>12s} {'recycled':>9s} {'speedup':>8s}"]
+    rows = list(report["scenarios"].items()) + [
+        ("TOTAL", {**report["total"], "timeouts_recycled": ""})
+    ]
+    for name, r in rows:
+        speedup = r.get("speedup")
+        lines.append(
+            f"{name:18s} {r['events']:>10,} {r['wall_s']:>9.4f} "
+            f"{r['events_per_sec']:>12,} {str(r.get('timeouts_recycled', '')):>9s} "
+            f"{f'{speedup:.2f}x' if speedup else '-':>8s}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.bench",
+        description="Microbenchmark the discrete-event engine hot path.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small rounds for CI smoke runs")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repetitions per scenario, best-of (default 3)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable report here")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="prior report to compute speedups against")
+    parser.add_argument("--ab", metavar="ENGINE_PY",
+                        help="interleaved A/B against a frozen engine module "
+                             "(e.g. benchmarks/engine_seed_reference.py)")
+    parser.add_argument("scenario", nargs="*", choices=[[], *SCENARIOS],
+                        help="subset of scenarios (default: all)")
+    args = parser.parse_args(argv)
+
+    if args.ab:
+        report = run_ab(args.ab, quick=args.quick, repeat=args.repeat,
+                        scenarios=args.scenario or None)
+    else:
+        report = run_benchmarks(quick=args.quick, repeat=args.repeat,
+                                scenarios=args.scenario or None)
+    if args.baseline:
+        with open(args.baseline) as fh:
+            annotate_speedup(report, json.load(fh))
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(report saved to {args.json})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

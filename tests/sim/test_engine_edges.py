@@ -126,3 +126,98 @@ def test_fail_requires_exception():
     env = Environment()
     with pytest.raises(SimulationError, match="needs an exception"):
         env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError, match="empty"):
+        env.step()
+    # ... and the error is recoverable: the environment still works.
+    env.timeout(5)
+    env.step()
+    assert env.now == 5
+
+
+def test_cancel_recycles_into_free_list():
+    env = Environment()
+    t = env.timeout(100)
+    assert t.cancel() is True
+    env.run()  # the dead heap entry pops silently at t=100
+    assert env.now == 100
+    assert env.timeouts_recycled == 1
+    # The very next timeout() is served from the pool — same object.
+    t2 = env.timeout(7)
+    assert t2 is t
+    assert env.timeouts_reused == 1
+    assert t2.delay == 7 and not t2._cancelled and not t2._defused
+    env.run()
+    assert env.now == 107
+
+
+def test_cancel_spent_timer_returns_false():
+    env = Environment()
+    t = env.timeout(10)
+    env.run()
+    assert t.cancel() is False
+    assert env.timeouts_recycled == 0
+
+
+def test_cancel_waited_on_timer_raises():
+    env = Environment()
+
+    def waiter(t):
+        yield t
+
+    t = env.timeout(50)
+    env.process(waiter(t))
+    env.step()  # start the process so it attaches to the timer
+    with pytest.raises(SimulationError, match="waited on"):
+        t.cancel()
+    env.run()
+
+
+def test_cancel_timer_with_raw_callback_raises():
+    env = Environment()
+    t = env.timeout(50)
+    t.callbacks.append(lambda ev: None)
+    with pytest.raises(SimulationError, match="waited on"):
+        t.cancel()
+    env.run()
+
+
+def test_condition_tracks_member_waiters():
+    env = Environment()
+    a, b = env.timeout(10), env.timeout(20)
+    cond = env.all_of([a, b])
+    assert a._waiters == 1 and b._waiters == 1
+    env.run(until=cond)
+    # Both members were processed (callbacks is None marks that); processed
+    # events are inert, so their waiter count no longer matters.
+    assert a.callbacks is None and b.callbacks is None
+    assert a.cancel() is False and b.cancel() is False
+
+
+def test_anyof_loser_detached_and_defused():
+    env = Environment()
+    fast = env.timeout(1)
+    slow = env.timeout(1000)
+    env.run(until=env.any_of([fast, slow]))
+    assert env.now == 1
+    # The loser was detached: no dead callback, no waiter, and a late
+    # failure would be swallowed rather than crashing the run.
+    assert slow._waiters == 0
+    assert slow.callbacks == []
+    assert slow._defused
+    env.run()
+    assert env.now == 1000
+
+
+def test_anyof_loser_can_be_cancelled_after_detach():
+    env = Environment()
+    fast = env.timeout(1)
+    slow = env.timeout(1000)
+    env.run(until=env.any_of([fast, slow]))
+    assert slow.cancel() is True  # detach left it unclaimed
+    env.run()
+    assert env.now == 1000  # dead entry still pops: clock is unchanged
+    assert env.timeouts_recycled == 1
