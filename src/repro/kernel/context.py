@@ -39,9 +39,23 @@ class ExecContext:
 
 
 class HeldContext(ExecContext):
-    """The caller already holds the core (interrupt bottom half)."""
+    """The caller already holds the core (interrupt bottom half).
+
+    ``defer_ns`` lets the softirq engine fuse its per-packet charge into
+    the handler's first charge: deferred cost rides along with the next
+    ``charge()`` call as a single timeout, so every completion instant
+    from that charge onward is identical to paying the costs separately —
+    the core is held throughout either way, and nothing can preempt
+    between two adjacent same-priority charges.
+    """
+
+    def __init__(self, env: Environment, core: CpuCore, priority: int):
+        super().__init__(env, core, priority)
+        self.defer_ns = 0
 
     def charge(self, cost_ns: int) -> Generator:
+        cost_ns += self.defer_ns
+        self.defer_ns = 0
         if cost_ns > 0:
             yield self.env.timeout(cost_ns)
 

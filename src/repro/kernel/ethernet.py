@@ -27,6 +27,7 @@ class EthernetLayer:
     def __init__(self, nic: Nic):
         self.nic = nic
         self._protocols: dict[int, Callable[[EthernetFrame, ExecContext], Generator]] = {}
+        self._fused: dict[int, Callable[[EthernetFrame], bool]] = {}
         self.tx_packets = 0
         self.loopback_packets = 0
         self.rx_unhandled = 0
@@ -35,13 +36,29 @@ class EthernetLayer:
         self,
         ethertype: int,
         handler: Callable[[EthernetFrame, ExecContext], Generator],
+        fused: Callable[[EthernetFrame], bool] | None = None,
     ) -> None:
+        """Register an RX handler for one ethertype.
+
+        ``fused`` is an optional per-frame predicate declaring that the
+        handler pays a ``ctx.charge`` before any externally visible action,
+        which lets the softirq engine fuse its per-packet cost into that
+        first charge (see :meth:`fuse_hint`).
+        """
         if ethertype in self._protocols:
             raise ValueError(f"ethertype {ethertype:#x} already registered")
         self._protocols[ethertype] = handler
+        if fused is not None:
+            self._fused[ethertype] = fused
 
     def unregister_protocol(self, ethertype: int) -> None:
         del self._protocols[ethertype]
+        self._fused.pop(ethertype, None)
+
+    def fuse_hint(self, frame: EthernetFrame) -> bool:
+        """True if the BH may defer its per-packet charge for this frame."""
+        pred = self._fused.get(frame.ethertype)
+        return pred is not None and pred(frame)
 
     def xmit(
         self,
@@ -68,6 +85,12 @@ class EthernetLayer:
             # Local delivery: frames addressed to our own MAC never reach
             # the wire — the kernel loops them back (intra-node endpoints
             # talk through the same stack without spending wire bandwidth).
+            # The loopback still honours the MTU: an oversized local frame
+            # must fail the same way a wire frame does.
+            if payload_bytes > self.nic.spec.mtu:
+                raise ValueError(
+                    f"frame payload {payload_bytes} exceeds MTU {self.nic.spec.mtu}"
+                )
             self.nic.deliver(frame)
             self.loopback_packets += 1
         else:

@@ -46,18 +46,25 @@ class SoftirqEngine:
         dispatch: Callable[[EthernetFrame, HeldContext], Generator],
         budget: int = 64,
         metrics: MetricRegistry | None = None,
+        fuse_hint: Callable[[EthernetFrame], bool] | None = None,
     ):
         self.env = env
         self.core = core
         self.nic = nic
         self.dispatch = dispatch
         self.budget = budget
+        # Optional per-frame predicate: True means the frame's handler pays
+        # a charge before any externally visible action, so the BH
+        # per-packet cost may be fused into that first charge (see
+        # HeldContext.defer_ns and docs/performance.md).
+        self.fuse_hint = fuse_hint
         self._scheduled = False
         self.bh_runs = 0
         self.frames_processed = 0
         self.ksoftirqd_rounds = 0
         registry = resolve_registry(metrics)
         self.metrics = registry
+        self._live_metrics = registry.enabled
         lbl = {"nic": nic.name}
         self._m_bh_runs = registry.counter(
             "softirq_bh_runs", "bottom-half activations (core acquisitions)",
@@ -83,27 +90,45 @@ class SoftirqEngine:
 
     def _bottom_half(self) -> Generator:
         spec = self.core.spec
+        per_packet = spec.bh_per_packet_ns
+        fusable = self.fuse_hint
         priority = PRIO_BH
         while True:
             drained = False
             with self.core.request(priority) as req:
                 yield req
                 self.bh_runs += 1
-                self._m_bh_runs.inc()
-                self._m_backlog.observe(self.nic._rx_ring_used)
+                if self._live_metrics:
+                    self._m_bh_runs.inc()
+                    self._m_backlog.observe(self.nic._rx_ring_used)
                 ctx = HeldContext(self.env, self.core, priority)
                 yield from ctx.charge(spec.irq_entry_ns)
+                npkts = 0
                 for _ in range(self.budget):
                     frame = self.nic.ring_pop()
                     if frame is None:
                         drained = True
                         break
                     self.frames_processed += 1
-                    self._m_frames.inc()
-                    yield from ctx.charge(spec.bh_per_packet_ns)
-                    yield from self.dispatch(frame, ctx)
+                    npkts += 1
+                    if fusable is not None and fusable(frame):
+                        # Fuse the per-packet cost into the handler's first
+                        # charge: one timeout instead of two, identical
+                        # completion instants.
+                        ctx.defer_ns += per_packet
+                        yield from self.dispatch(frame, ctx)
+                        if ctx.defer_ns:
+                            # The handler bailed out before charging (e.g.
+                            # a duplicate drop): pay the per-packet cost
+                            # before touching the next frame.
+                            yield from ctx.charge(0)
+                    else:
+                        yield from ctx.charge(per_packet)
+                        yield from self.dispatch(frame, ctx)
                 else:
                     drained = self.nic.ring_pop_peek_empty()
+                if self._live_metrics and npkts:
+                    self._m_frames.inc(npkts)
             if drained:
                 # No yield between the empty-ring check and clearing the
                 # flag, so frames arriving later re-raise the interrupt.

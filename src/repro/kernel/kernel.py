@@ -42,7 +42,7 @@ class Kernel:
         self.bh_core = host.cores[bh_core_index]
         self.softirq = SoftirqEngine(
             self.env, self.bh_core, host.nic, self.ethernet.dispatch_rx,
-            metrics=self.metrics,
+            metrics=self.metrics, fuse_hint=self.ethernet.fuse_hint,
         )
         host.nic.set_rx_callback(self.softirq.raise_irq)
         self._processes: list[UserProcess] = []

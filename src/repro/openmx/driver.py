@@ -242,7 +242,8 @@ class OpenMXDriver:
         self.endpoints: dict[int, DriverEndpoint] = {}
         from repro.kernel.ethernet import ETH_P_OMX
 
-        kernel.ethernet.register_protocol(ETH_P_OMX, self._rx)
+        kernel.ethernet.register_protocol(ETH_P_OMX, self._rx,
+                                          fused=self._rx_fusable)
 
     # ------------------------------------------------------------------ setup
     def open_endpoint(self, proc: UserProcess, endpoint_id: int) -> DriverEndpoint:
@@ -752,6 +753,35 @@ class OpenMXDriver:
             state.progress_marker = state.bytes_received
 
     # ------------------------------------------------------------------ RX path
+    def _rx_fusable(self, frame: EthernetFrame) -> bool:
+        """May the BH fuse its per-packet charge into this frame's handler?
+
+        Only for packet types whose handler performs no time-sensitive
+        action before its first ``ctx.charge`` — then the fused charge
+        reproduces every completion instant exactly:
+
+        * ``EagerFrag`` / ``Rndv``: pure dedup/log lookups precede the
+          first charge.
+        * ``PullReply``: safe only in overlapped mode, where the
+          ``overlap_check_ns`` charge precedes the pin-watermark ``covers``
+          check; in other modes the covers read would move earlier and
+          could race a concurrent MMU invalidation.
+        * ``PullRequest`` is excluded: it stamps ``last_activity_ns`` from
+          ``env.now`` before charging.  ``Notify``/``Liback`` are excluded:
+          they complete library events whose wakeup instants must not move.
+
+        Tracing records pre-charge timestamps, so fusion is off whenever
+        the tracer or span tracker observes (all chaos/digest runs).
+        """
+        if self.tracer.enabled or self.spans.enabled:
+            return False
+        pkt = frame.payload
+        if isinstance(pkt, (EagerFrag, Rndv)):
+            return True
+        if isinstance(pkt, PullReply):
+            return self.config.pinning_mode.overlapped
+        return False
+
     def _rx(self, frame: EthernetFrame, ctx: ExecContext) -> Generator:
         pkt = frame.payload
         if not isinstance(pkt, OmxPacket):

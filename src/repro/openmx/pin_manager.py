@@ -197,13 +197,14 @@ class PinManager:
         region.state = RegionState.PINNING
         region.pin_cancelled = False
         epoch = region.pin_epoch
+        start_mark = region.watermark
         try:
             yield from pin.pin_pages_batched(
                 core,
                 region.aspace,
                 region.page_vas[:limit],
                 priority=priority,
-                start_index=region.watermark,
+                start_index=start_mark,
                 batch_pages=PIN_BATCH_PAGES,
                 on_batch=lambda batch: region.attach_frames(region.watermark, batch),
                 should_abort=lambda: (
@@ -213,9 +214,24 @@ class PinManager:
                 ),
             )
         except PinError:
+            # pin_pages_batched rolled back only *this call's* frames.  A
+            # resumed pin (watermark advanced by an earlier, aborted call)
+            # may still hold frames attached back then; mark_failed() would
+            # silently discard them and they would stay pinned forever —
+            # invisible to every unpin path.  Release them here, paying the
+            # unpin cost like any other rollback.  Scope by position, not
+            # pin_count: frames below ``start_mark`` carry this region's
+            # reference, frames at/above it belonged to the failing call and
+            # were already rolled back (their pin_count may still be nonzero
+            # through an overlapping region — that reference is not ours).
+            leftovers = [f for f in region.frames[:start_mark] if f is not None]
             region.mark_failed()
             self.counters.incr("pin_failed")
             self._wake_waiters(region)
+            if leftovers:
+                self.counters.incr("pin_failed_rollback_pages", len(leftovers))
+                yield from pin.unpin_user_pages(core, region.aspace,
+                                                leftovers, priority)
             return False
         self._wake_waiters(region)
         if region.state is RegionState.PINNED:

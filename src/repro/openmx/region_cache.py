@@ -44,6 +44,9 @@ class RegionCache:
         # None = unbounded (permanent pinning baseline never evicts).
         self.capacity = capacity
         self._lru: OrderedDict[tuple[Segment, ...], int] = OrderedDict()
+        # Reverse map for O(1) forget(): dead-region reports arrive on the
+        # hot receive path in large reuse sweeps.
+        self._by_rid: dict[int, tuple[Segment, ...]] = {}
         self.counters = counters if counters is not None else Counter()
 
     def __len__(self) -> int:
@@ -62,6 +65,7 @@ class RegionCache:
             yield from self._evict_one(ctx)
         rid = yield from self._declare(ctx, segments)
         self._lru[segments] = rid
+        self._by_rid[rid] = segments
         return rid
 
     def _evict_one(self, ctx: ExecContext) -> Generator:
@@ -69,6 +73,7 @@ class RegionCache:
         for key, rid in self._lru.items():
             if self._is_idle(rid):
                 del self._lru[key]
+                del self._by_rid[rid]
                 yield from self._destroy(ctx, rid)
                 self.counters.incr("region_cache_evict")
                 return
@@ -77,13 +82,13 @@ class RegionCache:
 
     def forget(self, rid: int) -> None:
         """Drop a descriptor the kernel reported as dead (failed region)."""
-        for key, cached in list(self._lru.items()):
-            if cached == rid:
-                del self._lru[key]
-                return
+        key = self._by_rid.pop(rid, None)
+        if key is not None:
+            del self._lru[key]
 
     def flush(self, ctx: ExecContext) -> Generator:
         """Undeclare everything (endpoint teardown)."""
         for key, rid in list(self._lru.items()):
             del self._lru[key]
+            self._by_rid.pop(rid, None)
             yield from self._destroy(ctx, rid)

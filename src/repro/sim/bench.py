@@ -13,6 +13,9 @@ drive it:
   succeed/dispatch fast path with a single callback per event.
 * ``condition_fanout`` — ``any_of`` over several timers each round; the
   condition attach/detach path with dead losers drained at the end.
+* ``datapath_pull`` — a full NIC→fabric→softirq receive storm (two senders
+  bursting 4 KiB frames at one receiver whose bottom half is the
+  bottleneck); the workload the data-path event-coalescing change targets.
 
 Every scenario is deterministic, so one timed round gives an exact event
 count; wall time is the only noise, which ``--repeat`` (best-of) tames.
@@ -30,6 +33,16 @@ frozen reference engine loaded from the given file, strictly interleaved
 (ref, current, ref, current, ...) within the same process.  On a noisy or
 single-core host this cancels load drift that back-to-back whole-suite runs
 cannot, so the reported speedup is an honest like-for-like ratio.
+
+``--ab-datapath`` does the same for the *data path* instead of the engine:
+the ``datapath_pull`` scenario is built once on a frozen pre-coalescing
+Nic/Fabric/SoftirqEngine stack (``benchmarks/datapath_seed_reference.py``)
+and once on the current one, interleaved, on the same current engine.  The
+two stacks intentionally differ in heap-event count — that is the whole
+optimization — so instead of comparing event totals the harness compares
+the complete simulated end state (final clock, every frame/byte/drop/BH
+counter) and aborts on any difference.  ``--sim-json`` writes that end
+state for the CI drift gate (``benchmarks/datapath_sim_quick.json``).
 """
 
 from __future__ import annotations
@@ -43,7 +56,8 @@ from typing import Any, Callable
 
 from repro.sim.engine import Environment
 
-__all__ = ["SCENARIOS", "run_ab", "run_benchmarks", "run_scenario"]
+__all__ = ["SCENARIOS", "datapath_sim_state", "run_ab", "run_benchmarks",
+           "run_datapath_ab", "run_scenario"]
 
 
 # -- scenarios ----------------------------------------------------------------
@@ -110,12 +124,96 @@ def _condition_fanout(env: Environment, rounds: int, width: int = 8) -> None:
     env.process(worker())
 
 
+# Data-path scenario constants: 4 KiB frames arrive from two senders every
+# ~1.65 us while the bottom half needs ~3.8 us per frame (per-packet cost
+# plus a 4 KiB memcpy at 1.25 GB/s), so the RX ring backs up, the NAPI
+# budget trips, and ksoftirqd rounds run — the regime the data-path
+# event-coalescing change targets.
+_DP_FRAME_BYTES = 4096
+_DP_BURST = 64          # frames per sender per message
+_DP_GAP_NS = 600_000    # inter-message settle gap (ring fully drains)
+
+
+def _datapath_pull(env: Environment, rounds: int, stack=None):
+    """Two senders burst 4 KiB frames at one receiver's bottom half.
+
+    ``stack`` picks the Nic/Fabric/SoftirqEngine classes to build on
+    (default: the current tree); the frozen pre-coalescing stack lives in
+    ``benchmarks/datapath_seed_reference.py``.  Returns a probe reading the
+    complete simulated end state, with the constructed parts hung off it
+    (``probe.fabric`` and friends) for tests.
+    """
+    from repro.cluster.network import Fabric
+    from repro.hw.cpu import CpuCore
+    from repro.hw.nic import EthernetFrame, Nic
+    from repro.hw.specs import MYRI_10G, XEON_E5460
+    from repro.kernel.interrupts import SoftirqEngine
+
+    s = stack or {"EthernetFrame": EthernetFrame, "Nic": Nic,
+                  "Fabric": Fabric, "SoftirqEngine": SoftirqEngine}
+    frame_cls = s["EthernetFrame"]
+    fabric = s["Fabric"](env, latency_ns=1_000)
+    rx = s["Nic"](env, MYRI_10G, "rxhost")
+    senders = [s["Nic"](env, MYRI_10G, f"txhost{i}") for i in range(2)]
+    for nic in (rx, *senders):
+        fabric.attach(nic)
+    core = CpuCore(env, XEON_E5460, "rxhost", 0)
+    handled = {"frames": 0, "bytes": 0}
+
+    def handler(frame, ctx):
+        handled["frames"] += 1
+        handled["bytes"] += frame.payload_bytes
+        yield from ctx.memcpy(frame.payload_bytes)
+
+    softirq = s["SoftirqEngine"](env, core, rx, handler)
+    # The handler charges before any externally visible action, so every
+    # frame is fusable.  Plain attribute assignment works on both stacks
+    # (the seed engine simply never reads the hint).
+    softirq.fuse_hint = lambda frame: True
+    rx.set_rx_callback(softirq.raise_irq)
+
+    def sender(nic):
+        for _ in range(rounds):
+            for _ in range(_DP_BURST):
+                nic.send(frame_cls(
+                    src=nic.address, dst=rx.address, ethertype=0x86DF,
+                    payload=None, payload_bytes=_DP_FRAME_BYTES))
+            yield env.timeout(_DP_GAP_NS)
+
+    for nic in senders:
+        env.process(sender(nic), name=f"{nic.name}.app")
+
+    def probe():
+        return {
+            "now_ns": env.now,
+            "handled_frames": handled["frames"],
+            "handled_bytes": handled["bytes"],
+            "tx_frames": sum(n.tx_frames for n in senders),
+            "tx_bytes": sum(n.tx_bytes for n in senders),
+            "rx_frames": rx.rx_frames,
+            "rx_bytes": rx.rx_bytes,
+            "rx_ring_drops": rx.rx_ring_drops,
+            "frames_carried": fabric.frames_carried,
+            "frames_dropped": fabric.frames_dropped,
+            "bh_runs": softirq.bh_runs,
+            "frames_processed": softirq.frames_processed,
+            "ksoftirqd_rounds": softirq.ksoftirqd_rounds,
+        }
+
+    probe.fabric = fabric
+    probe.softirq = softirq
+    probe.rx_nic = rx
+    probe.senders = senders
+    return probe
+
+
 # name -> (builder, rounds at full scale, rounds at --quick scale)
 SCENARIOS: dict[str, tuple[Callable[..., None], int, int]] = {
     "timer_churn": (_timer_churn, 6_000, 600),
     "timeout_ladder": (_timeout_ladder, 3_000, 300),
     "event_pingpong": (_event_pingpong, 120_000, 12_000),
     "condition_fanout": (_condition_fanout, 30_000, 3_000),
+    "datapath_pull": (_datapath_pull, 150, 15),
 }
 
 
@@ -195,7 +293,11 @@ def run_ab(ref_path: str, quick: bool = False, repeat: int = 5,
     both sides equally.  Best-of-``repeat`` per side, per scenario.
     """
     ref_cls = _load_engine(ref_path)
-    names = scenarios or list(SCENARIOS)
+    # datapath_pull builds on the hw/kernel layers, whose Resource/Store
+    # types belong to the live repro.sim — a foreign engine class cannot
+    # host them.  It has its own A/B harness (run_datapath_ab) that swaps
+    # the datapath stack instead of the engine.
+    names = scenarios or [n for n in SCENARIOS if n != "datapath_pull"]
     best: dict[str, dict[str, Any]] = {
         n: {"ref_wall": float("inf"), "cur_wall": float("inf")} for n in names
     }
@@ -256,6 +358,111 @@ def run_ab(ref_path: str, quick: bool = False, repeat: int = 5,
     }
 
 
+def _load_stack(path: str) -> dict[str, type]:
+    """Load a datapath class stack (``STACK``) from a reference module."""
+    spec = importlib.util.spec_from_file_location("repro_datapath_ref", path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot load reference datapath stack from {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.STACK
+
+
+def _time_datapath(rounds: int, stack=None) -> tuple[float, int, dict[str, Any]]:
+    """One timed datapath run: (wall_s, engine events, simulated end state)."""
+    env = Environment()
+    probe = _datapath_pull(env, rounds, stack=stack)
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    return wall, env.events_processed, probe()
+
+
+def datapath_sim_state(quick: bool = False) -> dict[str, Any]:
+    """The ``datapath_pull`` scenario's deterministic simulated end state.
+
+    Every field is an exact simulation output (no wall-clock noise), so CI
+    can diff it against a committed reference with zero tolerance — any
+    change means the coalescing stopped being byte-identical.
+    """
+    rounds = SCENARIOS["datapath_pull"][2 if quick else 1]
+    _, _, state = _time_datapath(rounds)
+    return {
+        "schema": "repro.bench.datapath-sim/v1",
+        "quick": quick,
+        "rounds": rounds,
+        "state": state,
+    }
+
+
+def run_datapath_ab(ref_path: str, quick: bool = False,
+                    repeat: int = 5) -> dict[str, Any]:
+    """Interleaved A/B of the datapath stacks: frozen seed vs current.
+
+    Both stacks run the ``datapath_pull`` scenario on the *current* engine,
+    rep by rep (ref, current, ref, current, ...).  The two sides execute
+    different numbers of heap events — that is the optimization — so the
+    equivalence check compares the full simulated end state instead:
+    identical final clock and identical frame/byte/drop/BH counters, or
+    the run aborts.
+    """
+    stack = _load_stack(ref_path)
+    rounds = SCENARIOS["datapath_pull"][2 if quick else 1]
+    ref_wall = cur_wall = float("inf")
+    ref_events = cur_events = 0
+    ref_state: dict[str, Any] = {}
+    cur_state: dict[str, Any] = {}
+    for _ in range(repeat):
+        wall, ref_events, ref_state = _time_datapath(rounds, stack=stack)
+        ref_wall = min(ref_wall, wall)
+        wall, cur_events, cur_state = _time_datapath(rounds)
+        cur_wall = min(cur_wall, wall)
+    if ref_state != cur_state:
+        diffs = [
+            f"{key}: ref={ref_state.get(key)!r} cur={cur_state.get(key)!r}"
+            for key in sorted(ref_state.keys() | cur_state.keys())
+            if ref_state.get(key) != cur_state.get(key)
+        ]
+        raise SystemExit(
+            "datapath stacks disagree on simulated end state — not comparable:\n  "
+            + "\n  ".join(diffs)
+        )
+    return {
+        "schema": "repro.bench.datapath/v1",
+        "quick": quick,
+        "repeat": repeat,
+        "ab_reference": ref_path,
+        "rounds": rounds,
+        "sim_state": cur_state,
+        "events": cur_events,
+        "baseline_events": ref_events,
+        "event_reduction": round(1 - cur_events / ref_events, 3)
+        if ref_events else 0.0,
+        "wall_s": round(cur_wall, 6),
+        "baseline_wall_s": round(ref_wall, 6),
+        "speedup": round(ref_wall / cur_wall, 3) if cur_wall else 0.0,
+    }
+
+
+def format_datapath_report(report: dict[str, Any]) -> str:
+    state = report["sim_state"]
+    return "\n".join([
+        f"datapath_pull ({report['rounds']} rounds, "
+        f"best of {report['repeat']}):",
+        f"  seed stack    {report['baseline_events']:>10,} events "
+        f"{report['baseline_wall_s']:>9.4f} s",
+        f"  current stack {report['events']:>10,} events "
+        f"{report['wall_s']:>9.4f} s",
+        f"  event reduction {report['event_reduction']:.1%}, "
+        f"speedup {report['speedup']:.2f}x",
+        f"  end state: t={state['now_ns']:,} ns, "
+        f"{state['handled_frames']} frames handled, "
+        f"{state['bh_runs']} BH runs, "
+        f"{state['ksoftirqd_rounds']} ksoftirqd rounds, "
+        f"{state['rx_ring_drops']} ring drops  [identical on both stacks]",
+    ])
+
+
 def annotate_speedup(report: dict[str, Any], baseline: dict[str, Any]) -> None:
     """Attach per-scenario and aggregate speedups vs a prior report."""
     base = baseline.get("scenarios", {})
@@ -304,9 +511,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ab", metavar="ENGINE_PY",
                         help="interleaved A/B against a frozen engine module "
                              "(e.g. benchmarks/engine_seed_reference.py)")
+    parser.add_argument("--ab-datapath", metavar="STACK_PY",
+                        help="interleaved A/B of the datapath_pull scenario "
+                             "against a frozen Nic/Fabric/SoftirqEngine stack "
+                             "(e.g. benchmarks/datapath_seed_reference.py)")
+    parser.add_argument("--sim-json", metavar="PATH",
+                        help="write the datapath_pull simulated end state "
+                             "(exact, for the CI drift gate)")
     parser.add_argument("scenario", nargs="*", choices=[[], *SCENARIOS],
                         help="subset of scenarios (default: all)")
     args = parser.parse_args(argv)
+
+    if args.sim_json:
+        state = datapath_sim_state(quick=args.quick)
+        with open(args.sim_json, "w") as fh:
+            json.dump(state, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(datapath sim state saved to {args.sim_json})")
+        if not (args.ab or args.ab_datapath or args.scenario):
+            return 0
+
+    if args.ab_datapath:
+        report = run_datapath_ab(args.ab_datapath, quick=args.quick,
+                                 repeat=args.repeat)
+        print(format_datapath_report(report))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"(report saved to {args.json})")
+        return 0
 
     if args.ab:
         report = run_ab(args.ab, quick=args.quick, repeat=args.repeat,

@@ -103,3 +103,58 @@ def test_ring_pop_empty_returns_none():
     env, a, b, _ = wired_pair()
     assert b.ring_pop() is None
     assert b.ring_pop_peek_empty()
+
+
+def test_burst_exit_times_are_closed_form():
+    # The TX pump drains its queue with one timer per frame and no
+    # process: a mixed-size burst queued in one instant must exit at
+    # exactly t0 + cumulative serialization time, frame by frame.
+    env, a, b, _ = wired_pair()
+    arrivals = []
+    b.set_rx_callback(lambda: arrivals.append(env.now))
+    sizes = [512, 8192, 64, 4096]
+    for n in sizes:
+        a.send(frame("a", "b", n))
+    env.run()
+    expected, exit_ns = [], 0
+    for n in sizes:
+        exit_ns += transfer_time_ns(n + 42, MYRI_10G.link_bytes_per_sec)
+        expected.append(exit_ns + 1_000)
+    assert arrivals == expected
+
+
+def test_send_while_pump_busy_extends_the_queue():
+    # A frame queued mid-serialization starts on the wire the instant the
+    # previous one exits — identical to the seed per-frame Resource path.
+    env, a, b, _ = wired_pair()
+    arrivals = []
+    b.set_rx_callback(lambda: arrivals.append(env.now))
+    per_frame = transfer_time_ns(8192 + 42, MYRI_10G.link_bytes_per_sec)
+
+    def staggered():
+        a.send(frame("a", "b", 8192))
+        yield env.timeout(per_frame // 2)  # first frame still serializing
+        a.send(frame("a", "b", 8192))
+        yield env.timeout(2 * per_frame)   # pump has gone idle
+        a.send(frame("a", "b", 8192))
+
+    env.process(staggered())
+    env.run()
+    base = per_frame + 1_000
+    assert arrivals == [base, base + per_frame,
+                        per_frame // 2 + 2 * per_frame + per_frame + 1_000]
+
+
+def test_tx_stamps_monotonic_sequence_numbers():
+    env, a, b, _ = wired_pair()
+    for _ in range(3):
+        a.send(frame("a", "b", 1000))
+    env.run()
+    seqs = []
+    while True:
+        f = b.ring_pop()
+        if f is None:
+            break
+        seqs.append(f.seq)
+    assert seqs == [1, 2, 3]
+    assert a._txseq == 3

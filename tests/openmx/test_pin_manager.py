@@ -307,3 +307,41 @@ def test_pin_prefix_invalid_region_fails():
 
     assert env.run(until=env.process(work())) is False
     assert region.state is RegionState.FAILED
+
+
+def test_resumed_pin_failure_releases_earlier_batches():
+    # A pin cancelled between batches leaves the region resumable with its
+    # first batch still attached and pinned.  If the *resumed* call then
+    # fails on an invalid address, pin_pages_batched's rollback covers only
+    # that call's own frames — the earlier batch must be unpinned by the
+    # failure path, not silently discarded by mark_failed() and leaked.
+    env, host, kernel, mgr, proc, counters = build()
+    va = proc.aspace.mmap(16 * PAGE_SIZE)
+    # 32-page region over a 16-page mapping: pages 16+ are invalid.
+    region = UserRegion(1, proc.aspace, (Segment(va, 32 * PAGE_SIZE),))
+    ctx = AcquiringContext(env, proc.core)
+    base = kernel.pin.pin_base_ns(proc.core)
+    per_page = kernel.pin.pin_per_page_ns(proc.core)
+
+    def cancel_mid_second_batch():
+        # Fires inside the second batch's charge, after batch 1 attached.
+        yield env.timeout(base + 17 * per_page)
+        region.pin_cancelled = True
+
+    def first_attempt():
+        return (yield from mgr.acquire_pinned(ctx, region))
+
+    env.process(cancel_mid_second_batch())
+    assert env.run(until=env.process(first_attempt())) is False
+    assert region.state is RegionState.UNPINNED  # resumable
+    assert region.watermark == 16
+    assert host.memory.pinned_frames == 16
+
+    def second_attempt():
+        return (yield from mgr.acquire_pinned(ctx, region))
+
+    assert env.run(until=env.process(second_attempt())) is False
+    assert region.state is RegionState.FAILED
+    assert host.memory.pinned_frames == 0  # nothing leaked
+    assert counters["pin_failed"] == 1
+    assert counters["pin_failed_rollback_pages"] == 16

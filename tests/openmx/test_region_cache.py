@@ -126,3 +126,24 @@ def test_lookup_charges_time():
     t0 = h.env.now
     h.get(0x1000, 4096)  # pure hit: only the lookup cost
     assert h.env.now - t0 == OpenMXConfig().cache_lookup_ns
+
+
+def test_forget_unknown_or_double_is_noop():
+    h = Harness(capacity=4)
+    h.cache.forget(999)  # never declared
+    rid = h.get(0x1000, 4096)
+    h.cache.forget(rid)
+    h.cache.forget(rid)  # second report of the same dead region
+    assert len(h.cache) == 0
+
+
+def test_forget_after_eviction_is_noop():
+    # Eviction must clean the rid reverse map too, or a later dead-region
+    # report would KeyError on the already-gone LRU entry.
+    h = Harness(capacity=2)
+    r1 = h.get(0x1000, 4096)
+    h.get(0x2000, 4096)
+    h.get(0x3000, 4096)  # evicts r1
+    assert h.destroyed == [r1]
+    h.cache.forget(r1)
+    assert len(h.cache) == 2
