@@ -6,7 +6,7 @@ from .context import AcquiringContext, ExecContext, HeldContext
 from .ethernet import ETH_P_OMX, EthernetLayer
 from .interrupts import SoftirqEngine
 from .kernel import Kernel, UserProcess
-from .mmu_notifier import CallbackNotifier, MMUNotifierChain
+from .mmu_notifier import CallbackNotifier, IntervalIndex, MMUNotifierChain
 from .pinning import PIN_FRACTION, PinError, PinService
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "EthernetLayer",
     "ExecContext",
     "HeldContext",
+    "IntervalIndex",
     "Kernel",
     "Malloc",
     "MMUNotifierChain",

@@ -15,10 +15,17 @@ Semantics mirror Linux where it matters to the paper:
   user-space registration caches unsafe,
 * copy-on-write duplication, swap-out and migration also fire notifiers and
   refuse to touch pinned frames (pinning exists to prevent precisely that).
+
+Lookups are indexed, the way the real VM keeps them (maple tree / rbtree):
+VMAs live in a sorted-start list so ``find_vma`` is one ``bisect`` instead
+of a walk of every mapping, and resident / swapped page numbers are kept in
+sorted lists so ``resident_pages`` is two bisects and range teardown visits
+only the pages that actually exist, not every possible vpn in the range.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 
 from repro.hw.memory import PAGE_SIZE, Frame, PhysicalMemory
@@ -70,8 +77,11 @@ class AddressSpace:
         self.memory = memory
         self.name = name
         self._vmas: dict[int, Vma] = {}  # start -> Vma (page aligned)
+        self._vma_starts: list[int] = []  # sorted VMA starts (maple-tree role)
         self._pages: dict[int, Frame] = {}  # vpn -> Frame
+        self._resident: list[int] = []  # sorted resident vpns
         self._swap: dict[int, bytes] = {}  # vpn -> swapped-out contents
+        self._swap_vpns: list[int] = []  # sorted swapped vpns
         self._next_mmap = self.MMAP_BASE
         # Freed ranges by size, reused LIFO — like Linux, a munmap followed
         # by an equal-sized mmap usually returns the same address, which is
@@ -97,6 +107,7 @@ class AddressSpace:
             start = self._next_mmap
             self._next_mmap += size + PAGE_SIZE  # one-page guard gap
         self._vmas[start] = Vma(start, start + size)
+        insort(self._vma_starts, start)
         return start
 
     def mmap_fixed(self, start: int, length: int) -> int:
@@ -104,20 +115,43 @@ class AddressSpace:
         if start % PAGE_SIZE:
             raise ValueError(f"unaligned fixed mapping at {start:#x}")
         size = page_count(0, length) * PAGE_SIZE
-        for addr in range(start, start + size, PAGE_SIZE):
-            if self.find_vma(addr) is not None:
-                raise BadAddress(f"fixed mapping overlaps existing VMA at {addr:#x}")
-        # A fixed mapping may land on a freed range: drop stale reuse entries.
-        for rsize, starts in self._free_ranges.items():
-            self._free_ranges[rsize] = [
-                s for s in starts if s + rsize <= start or s >= start + size
+        end = start + size
+        starts = self._vma_starts
+        if size:
+            # Only two candidates can overlap [start, end): the VMA at or
+            # before ``start`` and the first VMA after it.
+            i = bisect_right(starts, start) - 1
+            if i >= 0 and self._vmas[starts[i]].end > start:
+                raise BadAddress(
+                    f"fixed mapping overlaps existing VMA at {start:#x}"
+                )
+            if i + 1 < len(starts) and starts[i + 1] < end:
+                raise BadAddress(
+                    f"fixed mapping overlaps existing VMA at {starts[i + 1]:#x}"
+                )
+        # A fixed mapping may land on a freed range: drop stale reuse entries
+        # and prune sizes that end up with none left (long churn runs would
+        # otherwise grow the dict without bound).
+        for rsize in list(self._free_ranges):
+            kept = [
+                s for s in self._free_ranges[rsize]
+                if s + rsize <= start or s >= end
             ]
-        self._vmas[start] = Vma(start, start + size)
+            if kept:
+                self._free_ranges[rsize] = kept
+            else:
+                del self._free_ranges[rsize]
+        if start not in self._vmas:
+            insort(starts, start)
+        self._vmas[start] = Vma(start, end)
         return start
 
     def find_vma(self, addr: int) -> Vma | None:
-        for vma in self._vmas.values():
-            if addr in vma:
+        starts = self._vma_starts
+        i = bisect_right(starts, addr) - 1
+        if i >= 0:
+            vma = self._vmas[starts[i]]
+            if addr < vma.end:
                 return vma
         return None
 
@@ -127,11 +161,19 @@ class AddressSpace:
             return False
         va = page_align(addr)
         end = addr + length
+        starts = self._vma_starts
+        i = bisect_right(starts, va) - 1
+        if i < 0:
+            return False
+        # Walk adjacent VMAs forward from the bisect point.
         while va < end:
-            vma = self.find_vma(va)
-            if vma is None:
+            if i >= len(starts):
+                return False
+            vma = self._vmas[starts[i]]
+            if not (vma.start <= va < vma.end):
                 return False
             va = vma.end
+            i += 1
         return True
 
     def munmap(self, addr: int, length: int) -> None:
@@ -142,7 +184,16 @@ class AddressSpace:
         """
         start = page_align(addr)
         end = start + page_count(addr, length) * PAGE_SIZE
-        victims = [v for v in self._vmas.values() if v.start >= start and v.end <= end]
+        starts = self._vma_starts
+        lo = bisect_left(starts, start)
+        victims: list[Vma] = []
+        i = lo
+        while i < len(starts) and starts[i] < end:
+            vma = self._vmas[starts[i]]
+            if vma.end > end:
+                break  # starts inside the range but extends past it
+            victims.append(vma)
+            i += 1
         covered = sum(v.length for v in victims)
         if not victims or covered < (end - start):
             inside = self.find_vma(addr)
@@ -154,12 +205,24 @@ class AddressSpace:
         self.notifiers.invalidate_range(start, end)
         for vma in victims:
             del self._vmas[vma.start]
-            for vpn in range(vma.start // PAGE_SIZE, vma.end // PAGE_SIZE):
-                frame = self._pages.pop(vpn, None)
-                if frame is not None:
-                    self._release_frame(frame)
-                self._swap.pop(vpn, None)
+            self._drop_pages(vma.start // PAGE_SIZE, vma.end // PAGE_SIZE)
             self._free_ranges.setdefault(vma.length, []).append(vma.start)
+        del starts[lo : lo + len(victims)]
+
+    def _drop_pages(self, first_vpn: int, end_vpn: int) -> None:
+        """Tear down page-table and swap entries for [first_vpn, end_vpn)."""
+        res = self._resident
+        lo = bisect_left(res, first_vpn)
+        hi = bisect_left(res, end_vpn)
+        for vpn in res[lo:hi]:
+            self._release_frame(self._pages.pop(vpn))
+        del res[lo:hi]
+        swp = self._swap_vpns
+        lo = bisect_left(swp, first_vpn)
+        hi = bisect_left(swp, end_vpn)
+        for vpn in swp[lo:hi]:
+            del self._swap[vpn]
+        del swp[lo:hi]
 
     def destroy(self) -> None:
         """Tear the whole address space down (process exit)."""
@@ -181,12 +244,12 @@ class AddressSpace:
         return self._pages.get(addr // PAGE_SIZE)
 
     def resident_pages(self, addr: int, length: int) -> int:
+        n = page_count(addr, length)
+        if n == 0:
+            return 0
         first = addr // PAGE_SIZE
-        return sum(
-            1
-            for vpn in range(first, first + page_count(addr, length))
-            if vpn in self._pages
-        )
+        res = self._resident
+        return bisect_left(res, first + n) - bisect_left(res, first)
 
     def fault_in(self, addr: int) -> Frame:
         """Ensure the page containing ``addr`` is resident; return its frame."""
@@ -201,7 +264,9 @@ class AddressSpace:
         if swapped is not None:
             frame.write(0, swapped)
             self.swapins += 1
+            del self._swap_vpns[bisect_left(self._swap_vpns, vpn)]
         self._pages[vpn] = frame
+        insort(self._resident, vpn)
         self.faults += 1
         return frame
 
@@ -209,20 +274,27 @@ class AddressSpace:
     def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
         offset = 0
         data = memoryview(data)
-        while offset < len(data):
+        length = len(data)
+        pages = self._pages
+        while offset < length:
             va = addr + offset
-            frame = self.fault_in(va)
+            frame = pages.get(va // PAGE_SIZE)
+            if frame is None:
+                frame = self.fault_in(va)  # absent page: take the fault
             in_page = va % PAGE_SIZE
-            chunk = min(PAGE_SIZE - in_page, len(data) - offset)
+            chunk = min(PAGE_SIZE - in_page, length - offset)
             frame.write(in_page, data[offset : offset + chunk])
             offset += chunk
 
     def read(self, addr: int, length: int) -> bytes:
         out = bytearray()
         offset = 0
+        pages = self._pages
         while offset < length:
             va = addr + offset
-            frame = self.fault_in(va)
+            frame = pages.get(va // PAGE_SIZE)
+            if frame is None:
+                frame = self.fault_in(va)  # absent page: take the fault
             in_page = va % PAGE_SIZE
             chunk = min(PAGE_SIZE - in_page, length - offset)
             out += frame.read(in_page, chunk)
@@ -257,9 +329,12 @@ class AddressSpace:
             raise BadAddress(f"COW on unmapped range {addr:#x}+{length}")
         self.notifiers.invalidate_range(start, page_align(end - 1) + PAGE_SIZE)
         duplicated = 0
-        for vpn in range(start // PAGE_SIZE, (end - 1) // PAGE_SIZE + 1):
-            old = self._pages.get(vpn)
-            if old is None or old.pinned:
+        res = self._resident
+        lo = bisect_left(res, start // PAGE_SIZE)
+        hi = bisect_left(res, (end - 1) // PAGE_SIZE + 1)
+        for vpn in res[lo:hi]:
+            old = self._pages[vpn]
+            if old.pinned:
                 continue  # pinned pages cannot be COW-broken away
             new = self.memory.allocate()
             new.copy_contents_from(old)
@@ -283,12 +358,19 @@ class AddressSpace:
             raise BadAddress(f"swap-out of unmapped range {addr:#x}+{length}")
         self.notifiers.invalidate_range(start, page_align(end - 1) + PAGE_SIZE)
         moved = 0
-        for vpn in range(start // PAGE_SIZE, (end - 1) // PAGE_SIZE + 1):
-            frame = self._pages.get(vpn)
-            if frame is None or frame.pinned:
+        res = self._resident
+        lo = bisect_left(res, start // PAGE_SIZE)
+        hi = bisect_left(res, (end - 1) // PAGE_SIZE + 1)
+        kept: list[int] = []
+        for vpn in res[lo:hi]:
+            frame = self._pages[vpn]
+            if frame.pinned:
+                kept.append(vpn)
                 continue
             self._swap[vpn] = frame.read(0, PAGE_SIZE)
+            insort(self._swap_vpns, vpn)
             del self._pages[vpn]
             self.memory.free(frame)
             moved += 1
+        res[lo:hi] = kept
         return moved

@@ -8,13 +8,20 @@ address space.  Whenever the (simulated) kernel is about to change mappings —
 page-table change takes effect, exactly like ``invalidate_range_start`` in
 Linux.  This is what makes a kernel pinning cache reliable without
 intercepting ``malloc``/``munmap`` symbols in user-space (Section 3.1).
+
+:class:`IntervalIndex` is the lookup structure notifier *consumers* use to
+find which of their cached translations a given invalidation actually hits:
+a sorted interval list answering stabbing queries in O(log n + k) instead of
+scanning every cached object (the interval-tree role ``i_mmap`` /
+``region->rb_node`` play in real drivers).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from bisect import bisect_left, insort
+from typing import Callable, Iterable, Protocol
 
-__all__ = ["MMUNotifier", "MMUNotifierChain"]
+__all__ = ["IntervalIndex", "MMUNotifier", "MMUNotifierChain"]
 
 
 class MMUNotifier(Protocol):
@@ -53,15 +60,21 @@ class MMUNotifierChain:
 
     def __init__(self) -> None:
         self._notifiers: list[MMUNotifier] = []
+        # Registration is by identity (a notifier instance is registered, not
+        # a value); the id-set makes the double-registration check O(1)
+        # instead of an __eq__ scan of the whole chain.
+        self._ids: set[int] = set()
         self.invalidations = 0
 
     def register(self, notifier: MMUNotifier) -> None:
-        if notifier in self._notifiers:
+        if id(notifier) in self._ids:
             raise ValueError("notifier registered twice")
         self._notifiers.append(notifier)
+        self._ids.add(id(notifier))
 
     def unregister(self, notifier: MMUNotifier) -> None:
         self._notifiers.remove(notifier)
+        self._ids.discard(id(notifier))
 
     def __len__(self) -> int:
         return len(self._notifiers)
@@ -78,3 +91,64 @@ class MMUNotifierChain:
         for notifier in list(self._notifiers):
             notifier.release()
         self._notifiers.clear()
+        self._ids.clear()
+
+
+class IntervalIndex:
+    """Sorted-interval stabbing index: which keys overlap [start, end)?
+
+    Keys map to one or more half-open byte ranges.  Queries bisect twice
+    over a single sorted list of ``(start, end, key)`` tuples: candidates
+    must start before the query end, and — because no stored interval is
+    longer than ``_max_len`` — at or after ``query_start - _max_len``.  Both
+    bounds are found in O(log n); the window between them is scanned and
+    filtered on ``end > query_start``, so hits cost O(log n + window) and
+    misses O(log n + small constant).  ``_max_len`` only grows (removals do
+    not shrink it); a stale maximum merely widens the candidate window, it
+    never loses a hit.
+
+    This is the simulation analogue of the interval trees kernel drivers
+    hang off MMU notifiers (``i_mmap``, the DRM/RDMA userptr rbtrees): the
+    Open-MX driver keys it by region id over segment ranges so an
+    invalidation dispatches only to the regions it can actually hit.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: list[tuple[int, int, int]] = []
+        self._by_key: dict[int, list[tuple[int, int]]] = {}
+        self._max_len = 0
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._by_key
+
+    def add(self, key: int, ranges: Iterable[tuple[int, int]]) -> None:
+        """Index ``key`` under every half-open [start, end) in ``ranges``."""
+        if key in self._by_key:
+            raise ValueError(f"key {key} already indexed")
+        kept: list[tuple[int, int]] = []
+        for start, end in ranges:
+            if start >= end:
+                continue
+            kept.append((start, end))
+            insort(self._intervals, (start, end, key))
+            if end - start > self._max_len:
+                self._max_len = end - start
+        self._by_key[key] = kept
+
+    def remove(self, key: int) -> None:
+        """Drop every interval stored under ``key``."""
+        for start, end in self._by_key.pop(key):
+            i = bisect_left(self._intervals, (start, end, key))
+            del self._intervals[i]
+
+    def overlapping(self, start: int, end: int) -> list[int]:
+        """Sorted keys with at least one range overlapping [start, end)."""
+        if start >= end or not self._intervals:
+            return []
+        lo = bisect_left(self._intervals, (start - self._max_len,))
+        hi = bisect_left(self._intervals, (end,))
+        hits = {key for s, e, key in self._intervals[lo:hi] if e > start}
+        return sorted(hits)

@@ -27,6 +27,7 @@ from repro.hw.nic import EthernetFrame
 from repro.hw.memory import OutOfMemory
 from repro.kernel.address_space import BadAddress
 from repro.kernel.context import AcquiringContext, ExecContext
+from repro.kernel.mmu_notifier import IntervalIndex
 from repro.kernel.kernel import Kernel, UserProcess
 from repro.obs.metrics import CounterShim, MetricRegistry
 from repro.obs.spans import Span, SpanTracker
@@ -136,6 +137,10 @@ class DriverEndpoint:
         self.proc = proc
         self.env = driver.env
         self.regions: dict[int, UserRegion] = {}
+        # Segment-range interval index over declared regions: an MMU
+        # invalidation dispatches only to the regions it can hit (O(log n+k))
+        # instead of scanning every region x segment.
+        self.region_index = IntervalIndex()
         self._next_region = 1
         self.event_queue: Store = Store(self.env, f"omx.ep{endpoint_id}.events")
         self.doorbell: Event = self.env.event()
@@ -193,14 +198,25 @@ class _EndpointNotifier:
 
     def invalidate_range(self, start: int, end: int) -> None:
         mgr = self.ep.driver.pin_mgr
-        for region in self.ep.regions.values():
+        if self.ep.driver.config.notifier_linear_oracle:
+            # Debug slow path: scan every declared region's every segment.
+            # Region ids are handed out in increasing order and the regions
+            # dict preserves insertion order, so the fast path's sorted-rid
+            # dispatch below visits regions in exactly this order.
+            for region in self.ep.regions.values():
+                if region.watermark == 0 and region.state.value != "pinning":
+                    continue
+                if any(
+                    seg.va < end and start < seg.va + seg.length
+                    for seg in region.segments
+                ):
+                    mgr.invalidated(region)
+            return
+        for rid in self.ep.region_index.overlapping(start, end):
+            region = self.ep.regions[rid]
             if region.watermark == 0 and region.state.value != "pinning":
                 continue
-            if any(
-                seg.va < end and start < seg.va + seg.length
-                for seg in region.segments
-            ):
-                mgr.invalidated(region)
+            mgr.invalidated(region)
 
     def release(self) -> None:
         for region in self.ep.regions.values():
@@ -265,6 +281,7 @@ class OpenMXDriver:
         rid = ep.new_region_id()
         region = UserRegion(rid, ep.proc.aspace, segments)
         ep.regions[rid] = region
+        ep.region_index.add(rid, region.segment_ranges())
         self.counters.incr("regions_declared")
         self.trace(ep, "declare_region", region=rid, length=region.total_length)
         return rid
@@ -275,6 +292,7 @@ class OpenMXDriver:
         region = ep.regions.pop(rid, None)
         if region is None:
             raise KeyError(f"destroy of unknown region {rid}")
+        ep.region_index.remove(rid)
         if region.active_comms:
             raise RuntimeError(f"destroying region {rid} with active comms")
         yield from ctx.charge(100)

@@ -69,15 +69,25 @@ class RegionCache:
         return rid
 
     def _evict_one(self, ctx: ExecContext) -> Generator:
-        """Undeclare the least-recently-used idle region."""
+        """Undeclare the least-recently-used idle region.
+
+        ``OrderedDict`` iterates oldest-first, so the scan starts at the LRU
+        end and stops at the first idle victim; ``region_cache_evict_scan``
+        counts entries inspected (tests assert the scan stays at 1 when the
+        LRU region is idle, the common reuse-sweep case).
+        """
+        scanned = 0
         for key, rid in self._lru.items():
+            scanned += 1
             if self._is_idle(rid):
+                self.counters.incr("region_cache_evict_scan", scanned)
                 del self._lru[key]
                 del self._by_rid[rid]
                 yield from self._destroy(ctx, rid)
                 self.counters.incr("region_cache_evict")
                 return
         # Every cached region is mid-communication: allow temporary overflow.
+        self.counters.incr("region_cache_evict_scan", scanned)
         self.counters.incr("region_cache_overflow")
 
     def forget(self, rid: int) -> None:

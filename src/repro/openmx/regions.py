@@ -21,6 +21,7 @@ stale pin (the bug notifier-less caches have) corrupts data detectably.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.hw.memory import PAGE_SIZE, Frame
@@ -53,8 +54,8 @@ def segments_pages(segments: tuple[Segment, ...]) -> list[int]:
     vas: list[int] = []
     for seg in segments:
         first = (seg.va // PAGE_SIZE) * PAGE_SIZE
-        for i in range(page_count(seg.va, seg.length)):
-            vas.append(first + i * PAGE_SIZE)
+        n = page_count(seg.va, seg.length)
+        vas.extend(range(first, first + n * PAGE_SIZE, PAGE_SIZE))
     return vas
 
 
@@ -84,12 +85,16 @@ class UserRegion:
         # buffers; served in place of pinned frames and cleared when the
         # last communication on the region completes.
         self.bounce: bytes | None = None
-        # Precompute (segment start offset, segment, first page index).
-        self._index: list[tuple[int, Segment, int]] = []
+        # Prefix arrays over the segment list: cumulative byte offsets and
+        # cumulative page indexes, so offset->segment resolution is one
+        # bisect instead of a scan (a region may be highly vectorial).
+        self._seg_offsets: list[int] = []
+        self._seg_first_page: list[int] = []
         off = 0
         page_idx = 0
         for seg in self.segments:
-            self._index.append((off, seg, page_idx))
+            self._seg_offsets.append(off)
+            self._seg_first_page.append(page_idx)
             off += seg.length
             page_idx += page_count(seg.va, seg.length)
 
@@ -98,13 +103,16 @@ class UserRegion:
         """(segment, byte offset within segment, global page index)."""
         if not 0 <= offset < self.total_length:
             raise ValueError(f"offset {offset} outside region of {self.total_length}")
-        for seg_off, seg, first_page in self._index:
-            if seg_off <= offset < seg_off + seg.length:
-                delta = offset - seg_off
-                va = seg.va + delta
-                page = first_page + (va // PAGE_SIZE - seg.va // PAGE_SIZE)
-                return seg, delta, page
-        raise AssertionError("unreachable")  # pragma: no cover
+        i = bisect_right(self._seg_offsets, offset) - 1
+        seg = self.segments[i]
+        delta = offset - self._seg_offsets[i]
+        va = seg.va + delta
+        page = self._seg_first_page[i] + (va // PAGE_SIZE - seg.va // PAGE_SIZE)
+        return seg, delta, page
+
+    def segment_ranges(self) -> list[tuple[int, int]]:
+        """Half-open [va, va+length) byte ranges, for interval indexing."""
+        return [(seg.va, seg.va + seg.length) for seg in self.segments]
 
     def pages_needed(self, offset: int, length: int) -> int:
         """Highest page index touched by [offset, offset+length), plus one."""

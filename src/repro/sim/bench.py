@@ -43,6 +43,15 @@ optimization — so instead of comparing event totals the harness compares
 the complete simulated end state (final clock, every frame/byte/drop/BH
 counter) and aborts on any difference.  ``--sim-json`` writes that end
 state for the CI drift gate (``benchmarks/datapath_sim_quick.json``).
+
+``--ab-vm`` applies the same discipline to the *VM layer*: the ``vm_churn``
+scenario (many processes mmap/write/declare/pin/probe/munmap/COW/swap in a
+loop) is built once on a frozen pre-index AddressSpace/UserRegion/
+PinService/linear-region-index stack (``benchmarks/vm_seed_reference.py``)
+and once on the current bisect-indexed one.  Equivalence is again the
+complete simulated end state — final clock plus per-process fault/pin/
+notifier counters and data digests.  ``--vm-sim-json`` writes that end
+state for the CI drift gate (``benchmarks/vm_sim_quick.json``).
 """
 
 from __future__ import annotations
@@ -57,7 +66,7 @@ from typing import Any, Callable
 from repro.sim.engine import Environment
 
 __all__ = ["SCENARIOS", "datapath_sim_state", "run_ab", "run_benchmarks",
-           "run_datapath_ab", "run_scenario"]
+           "run_datapath_ab", "run_scenario", "run_vm_ab", "vm_sim_state"]
 
 
 # -- scenarios ----------------------------------------------------------------
@@ -207,6 +216,187 @@ def _datapath_pull(env: Environment, rounds: int, stack=None):
     return probe
 
 
+# VM-churn scenario constants: independent processes hammer the VM layer —
+# allocate + write (page faults), declare + pin regions, probe the pinned
+# watermark and residency, then churn with munmap/COW/swap invalidations.
+# Every per-process structure (address space, memory, core, RNG) is private,
+# so process interleaving cannot change any per-process result.
+_VM_PROCS = 6
+_VM_BUFS_PER_ROUND = 3
+
+
+def _vm_churn(env: Environment, rounds: int, stack=None):
+    """Many processes churning mmap/pin/probe/invalidate on the VM layer.
+
+    ``stack`` picks the AddressSpace/UserRegion/PinService/region-index
+    classes to build on (default: the current tree); the frozen pre-index
+    stack lives in ``benchmarks/vm_seed_reference.py``.  Returns a probe
+    reading the complete simulated end state: final clock plus, per
+    process, every VM/pin/notifier counter and a digest of all data read.
+    """
+    import hashlib
+    import random
+
+    from repro.hw.cpu import CpuCore
+    from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+    from repro.hw.specs import XEON_E5460
+    from repro.kernel.address_space import AddressSpace, page_count
+    from repro.kernel.mmu_notifier import CallbackNotifier, IntervalIndex
+    from repro.kernel.pinning import PinService
+    from repro.obs.metrics import MetricRegistry
+    from repro.openmx.regions import Segment, UserRegion
+
+    s = stack or {"AddressSpace": AddressSpace, "UserRegion": UserRegion,
+                  "PinService": PinService, "RegionIndex": IntervalIndex}
+    registry = MetricRegistry()  # private: keep the ambient registry clean
+    parts: list[dict | None] = [None] * _VM_PROCS
+
+    def worker(pid: int):
+        rng = random.Random(1_000_003 * (pid + 1))
+        memory = PhysicalMemory(64 << 20)
+        aspace = s["AddressSpace"](memory, name=f"vm{pid}")
+        core = CpuCore(env, XEON_E5460, f"vmhost{pid}", 0)
+        pin = s["PinService"](metrics=registry, host=f"vmhost{pid}")
+        index = s["RegionIndex"]()
+        regions: dict[int, object] = {}
+        next_rid = 1
+        buffers: list[tuple[int, int]] = []  # (addr, nbytes)
+        fixed_maps: list[tuple[int, int]] = []
+        digest = hashlib.sha256()
+        stats = {"notifier_unpins": 0, "covers_hits": 0, "resident": 0,
+                 "reuse_hits": 0, "cow_pages": 0, "swapped_pages": 0,
+                 "mapped_probes": 0}
+
+        def on_invalidate(start: int, end: int) -> None:
+            # The driver-style dispatch: consult the region index, unpin
+            # every still-watermarked region the invalidation hits.
+            for rid in index.overlapping(start, end):
+                region = regions[rid]
+                if region.watermark == 0:
+                    continue
+                pin.unpin_now(aspace, region.take_pinned_frames())
+                stats["notifier_unpins"] += 1
+
+        aspace.notifiers.register(CallbackNotifier(on_invalidate))
+        fixed_base = aspace.MMAP_BASE - (1 << 36) + pid * (1 << 32)
+
+        for rnd in range(rounds):
+            # -- allocate: fresh buffers, fully written (faults every page)
+            for b in range(_VM_BUFS_PER_ROUND):
+                npages = rng.randrange(2, 12)
+                nbytes = npages * PAGE_SIZE - rng.randrange(0, PAGE_SIZE // 2)
+                addr = aspace.mmap(nbytes)
+                pat = bytes((pid * 37 + rnd * 11 + b * 5 + j) % 251
+                            for j in range(256))
+                payload = (pat * (nbytes // len(pat) + 1))[:nbytes]
+                aspace.write(addr, payload)
+                buffers.append((addr, nbytes))
+            yield env.timeout(rng.randrange(200, 1500))
+
+            # -- declare two regions: one contiguous, one vectorial
+            addr, nbytes = buffers[rng.randrange(len(buffers))]
+            new_regions = [(Segment(addr, nbytes),)]
+            vec = []
+            for _ in range(rng.randrange(3, 7)):
+                a2, n2 = buffers[rng.randrange(len(buffers))]
+                off = rng.randrange(0, max(1, n2 // 2))
+                ln = rng.randrange(1, max(2, n2 - off))
+                vec.append(Segment(a2 + off, ln))
+            new_regions.append(tuple(vec))
+            pin_rids = []
+            for segs in new_regions:
+                region = s["UserRegion"](next_rid, aspace, segs)
+                regions[next_rid] = region
+                index.add(next_rid,
+                          [(sg.va, sg.va + sg.length) for sg in segs])
+                pin_rids.append(next_rid)
+                next_rid += 1
+
+            # -- pin the new regions fully, one segment at a time
+            for rid in pin_rids:
+                region = regions[rid]
+                for sg in region.segments:
+                    frames = yield from pin.pin_user_pages(
+                        core, aspace, sg.va, page_count(sg.va, sg.length))
+                    region.attach_frames(region.watermark, frames)
+
+            # -- probe storm: watermark covers(), residency, mappedness
+            for rid in sorted(regions):
+                region = regions[rid]
+                for _ in range(8):
+                    off = rng.randrange(0, region.total_length)
+                    ln = rng.randrange(1, region.total_length - off + 1)
+                    stats["covers_hits"] += bool(region.covers(off, ln))
+                if region.fully_pinned:
+                    digest.update(
+                        region.read(0, min(region.total_length, 4096)))
+            for a2, n2 in buffers:
+                stats["mapped_probes"] += aspace.is_mapped_range(a2, n2)
+                stats["resident"] += aspace.resident_pages(a2, n2)
+            heap_span = (buffers[-1][0] + buffers[-1][1]) - aspace.MMAP_BASE
+            stats["resident"] += aspace.resident_pages(aspace.MMAP_BASE,
+                                                       heap_span)
+            digest.update(aspace.read(addr, min(nbytes, 2048)))
+            yield env.timeout(rng.randrange(200, 1500))
+
+            # -- churn: destroy, munmap (+LIFO re-mmap), COW/swap pressure
+            if regions and rng.random() < 0.7:
+                rid = min(regions)
+                region = regions.pop(rid)
+                index.remove(rid)
+                if region.watermark:
+                    yield from pin.unpin_user_pages(
+                        core, aspace, region.take_pinned_frames())
+            if len(buffers) > 4:
+                i = rng.randrange(len(buffers))
+                a2, n2 = buffers.pop(i)
+                aspace.munmap(a2, n2)  # notifiers fire through the index
+                if rng.random() < 0.5:
+                    a3 = aspace.mmap(n2)
+                    buffers.append((a3, n2))
+                    stats["reuse_hits"] += a3 == a2
+            a2, n2 = buffers[rng.randrange(len(buffers))]
+            if rnd % 2:
+                stats["cow_pages"] += aspace.cow_duplicate(a2, n2)
+            else:
+                stats["swapped_pages"] += aspace.swap_out(a2, n2)
+            if rnd % 5 == pid % 5:
+                fa = fixed_base + rnd * 0x40_0000
+                aspace.mmap_fixed(fa, 2 * PAGE_SIZE)
+                aspace.write(fa, b"fixed")
+                fixed_maps.append((fa, 2 * PAGE_SIZE))
+                if len(fixed_maps) > 2:
+                    fa2, fl2 = fixed_maps.pop(0)
+                    aspace.munmap(fa2, fl2)
+            yield env.timeout(rng.randrange(500, 3000))
+
+        parts[pid] = {
+            **stats,
+            "faults": aspace.faults,
+            "cow_breaks": aspace.cow_breaks,
+            "swapins": aspace.swapins,
+            "invalidations": aspace.notifiers.invalidations,
+            "orphans": aspace.orphan_count,
+            "pins": pin.pins,
+            "unpins": pin.unpins,
+            "pages_pinned": pin.pages_pinned,
+            "pin_failures": pin.pin_failures,
+            "free_frames": memory.free_frames,
+            "pinned_frames": memory.pinned_frames,
+            "regions_live": len(regions),
+            "index_len": len(index),
+            "digest": digest.hexdigest(),
+        }
+
+    for pid in range(_VM_PROCS):
+        env.process(worker(pid), name=f"vmchurn.{pid}")
+
+    def probe():
+        return {"now_ns": env.now, "procs": list(parts)}
+
+    return probe
+
+
 # name -> (builder, rounds at full scale, rounds at --quick scale)
 SCENARIOS: dict[str, tuple[Callable[..., None], int, int]] = {
     "timer_churn": (_timer_churn, 6_000, 600),
@@ -214,6 +404,7 @@ SCENARIOS: dict[str, tuple[Callable[..., None], int, int]] = {
     "event_pingpong": (_event_pingpong, 120_000, 12_000),
     "condition_fanout": (_condition_fanout, 30_000, 3_000),
     "datapath_pull": (_datapath_pull, 150, 15),
+    "vm_churn": (_vm_churn, 150, 8),
 }
 
 
@@ -293,11 +484,14 @@ def run_ab(ref_path: str, quick: bool = False, repeat: int = 5,
     both sides equally.  Best-of-``repeat`` per side, per scenario.
     """
     ref_cls = _load_engine(ref_path)
-    # datapath_pull builds on the hw/kernel layers, whose Resource/Store
-    # types belong to the live repro.sim — a foreign engine class cannot
-    # host them.  It has its own A/B harness (run_datapath_ab) that swaps
-    # the datapath stack instead of the engine.
-    names = scenarios or [n for n in SCENARIOS if n != "datapath_pull"]
+    # datapath_pull and vm_churn build on the hw/kernel layers, whose
+    # Resource/Store types belong to the live repro.sim — a foreign engine
+    # class cannot host them.  Each has its own A/B harness
+    # (run_datapath_ab / run_vm_ab) that swaps the layer stack instead of
+    # the engine.
+    names = scenarios or [
+        n for n in SCENARIOS if n not in ("datapath_pull", "vm_churn")
+    ]
     best: dict[str, dict[str, Any]] = {
         n: {"ref_wall": float("inf"), "cur_wall": float("inf")} for n in names
     }
@@ -359,10 +553,10 @@ def run_ab(ref_path: str, quick: bool = False, repeat: int = 5,
 
 
 def _load_stack(path: str) -> dict[str, type]:
-    """Load a datapath class stack (``STACK``) from a reference module."""
-    spec = importlib.util.spec_from_file_location("repro_datapath_ref", path)
+    """Load a class stack (``STACK``) from a frozen reference module."""
+    spec = importlib.util.spec_from_file_location("repro_stack_ref", path)
     if spec is None or spec.loader is None:
-        raise SystemExit(f"cannot load reference datapath stack from {path}")
+        raise SystemExit(f"cannot load reference stack from {path}")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module.STACK
@@ -463,6 +657,109 @@ def format_datapath_report(report: dict[str, Any]) -> str:
     ])
 
 
+def _time_vm(rounds: int, stack=None) -> tuple[float, int, dict[str, Any]]:
+    """One timed vm_churn run: (wall_s, engine events, simulated end state)."""
+    env = Environment()
+    probe = _vm_churn(env, rounds, stack=stack)
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    return wall, env.events_processed, probe()
+
+
+def vm_sim_state(quick: bool = False) -> dict[str, Any]:
+    """The ``vm_churn`` scenario's deterministic simulated end state.
+
+    Exact simulation outputs only (final clock, per-process VM/pin/notifier
+    counters, data digests) — CI diffs it against a committed reference
+    with zero tolerance; any change means a VM-layer index stopped being
+    behaviour-identical.
+    """
+    rounds = SCENARIOS["vm_churn"][2 if quick else 1]
+    _, _, state = _time_vm(rounds)
+    return {
+        "schema": "repro.bench.vm-sim/v1",
+        "quick": quick,
+        "rounds": rounds,
+        "state": state,
+    }
+
+
+def run_vm_ab(ref_path: str, quick: bool = False,
+              repeat: int = 5) -> dict[str, Any]:
+    """Interleaved A/B of the VM-layer stacks: frozen seed vs current.
+
+    Both stacks run the ``vm_churn`` scenario on the *current* engine, rep
+    by rep (ref, current, ref, current, ...).  The indexed stack executes
+    fewer engine events (fused pin charges) — so the equivalence check
+    compares the full simulated end state instead: identical final clock
+    and identical per-process counters/digests, or the run aborts.
+    """
+    stack = _load_stack(ref_path)
+    rounds = SCENARIOS["vm_churn"][2 if quick else 1]
+    ref_wall = cur_wall = float("inf")
+    ref_events = cur_events = 0
+    ref_state: dict[str, Any] = {}
+    cur_state: dict[str, Any] = {}
+    for _ in range(repeat):
+        wall, ref_events, ref_state = _time_vm(rounds, stack=stack)
+        ref_wall = min(ref_wall, wall)
+        wall, cur_events, cur_state = _time_vm(rounds)
+        cur_wall = min(cur_wall, wall)
+    if ref_state != cur_state:
+        diffs = [f"now_ns: ref={ref_state.get('now_ns')!r} "
+                 f"cur={cur_state.get('now_ns')!r}"] \
+            if ref_state.get("now_ns") != cur_state.get("now_ns") else []
+        for pid, (rp, cp) in enumerate(zip(ref_state.get("procs", []),
+                                           cur_state.get("procs", []))):
+            rp, cp = rp or {}, cp or {}
+            diffs += [
+                f"proc{pid}.{key}: ref={rp.get(key)!r} cur={cp.get(key)!r}"
+                for key in sorted(rp.keys() | cp.keys())
+                if rp.get(key) != cp.get(key)
+            ]
+        raise SystemExit(
+            "VM stacks disagree on simulated end state — not comparable:\n  "
+            + "\n  ".join(diffs)
+        )
+    return {
+        "schema": "repro.bench.vm/v1",
+        "quick": quick,
+        "repeat": repeat,
+        "ab_reference": ref_path,
+        "rounds": rounds,
+        "sim_state": cur_state,
+        "events": cur_events,
+        "baseline_events": ref_events,
+        "event_reduction": round(1 - cur_events / ref_events, 3)
+        if ref_events else 0.0,
+        "wall_s": round(cur_wall, 6),
+        "baseline_wall_s": round(ref_wall, 6),
+        "speedup": round(ref_wall / cur_wall, 3) if cur_wall else 0.0,
+    }
+
+
+def format_vm_report(report: dict[str, Any]) -> str:
+    state = report["sim_state"]
+    procs = [p for p in state["procs"] if p]
+    return "\n".join([
+        f"vm_churn ({report['rounds']} rounds x {len(state['procs'])} procs, "
+        f"best of {report['repeat']}):",
+        f"  seed stack    {report['baseline_events']:>10,} events "
+        f"{report['baseline_wall_s']:>9.4f} s",
+        f"  current stack {report['events']:>10,} events "
+        f"{report['wall_s']:>9.4f} s",
+        f"  event reduction {report['event_reduction']:.1%}, "
+        f"speedup {report['speedup']:.2f}x",
+        f"  end state: t={state['now_ns']:,} ns, "
+        f"{sum(p['faults'] for p in procs)} faults, "
+        f"{sum(p['pins'] for p in procs)} pins, "
+        f"{sum(p['invalidations'] for p in procs)} invalidations, "
+        f"{sum(p['notifier_unpins'] for p in procs)} notifier unpins"
+        "  [identical on both stacks]",
+    ])
+
+
 def annotate_speedup(report: dict[str, Any], baseline: dict[str, Any]) -> None:
     """Attach per-scenario and aggregate speedups vs a prior report."""
     base = baseline.get("scenarios", {})
@@ -515,8 +812,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="interleaved A/B of the datapath_pull scenario "
                              "against a frozen Nic/Fabric/SoftirqEngine stack "
                              "(e.g. benchmarks/datapath_seed_reference.py)")
+    parser.add_argument("--ab-vm", metavar="STACK_PY",
+                        help="interleaved A/B of the vm_churn scenario "
+                             "against a frozen AddressSpace/UserRegion/"
+                             "PinService/region-index stack "
+                             "(e.g. benchmarks/vm_seed_reference.py)")
     parser.add_argument("--sim-json", metavar="PATH",
                         help="write the datapath_pull simulated end state "
+                             "(exact, for the CI drift gate)")
+    parser.add_argument("--vm-sim-json", metavar="PATH",
+                        help="write the vm_churn simulated end state "
                              "(exact, for the CI drift gate)")
     parser.add_argument("scenario", nargs="*", choices=[[], *SCENARIOS],
                         help="subset of scenarios (default: all)")
@@ -528,13 +833,33 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(state, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"(datapath sim state saved to {args.sim_json})")
-        if not (args.ab or args.ab_datapath or args.scenario):
+        if not (args.ab or args.ab_datapath or args.ab_vm
+                or args.vm_sim_json or args.scenario):
+            return 0
+
+    if args.vm_sim_json:
+        state = vm_sim_state(quick=args.quick)
+        with open(args.vm_sim_json, "w") as fh:
+            json.dump(state, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(vm sim state saved to {args.vm_sim_json})")
+        if not (args.ab or args.ab_datapath or args.ab_vm or args.scenario):
             return 0
 
     if args.ab_datapath:
         report = run_datapath_ab(args.ab_datapath, quick=args.quick,
                                  repeat=args.repeat)
         print(format_datapath_report(report))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"(report saved to {args.json})")
+        return 0
+
+    if args.ab_vm:
+        report = run_vm_ab(args.ab_vm, quick=args.quick, repeat=args.repeat)
+        print(format_vm_report(report))
         if args.json:
             with open(args.json, "w") as fh:
                 json.dump(report, fh, indent=2, sort_keys=True)

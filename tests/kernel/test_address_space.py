@@ -192,3 +192,46 @@ def test_is_mapped_range(aspace):
     assert aspace.is_mapped_range(va + 100, PAGE_SIZE)
     assert not aspace.is_mapped_range(va, 3 * PAGE_SIZE)  # guard page
     assert not aspace.is_mapped_range(va, 0)
+
+
+def test_mmap_fixed_prunes_emptied_free_range_buckets(aspace):
+    # Regression: a fixed mapping landing on a freed range used to leave
+    # an empty list behind in _free_ranges, so long churn runs grew the
+    # dict without bound.  The emptied size bucket must disappear.
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.munmap(va, 2 * PAGE_SIZE)
+    assert 2 * PAGE_SIZE in aspace._free_ranges
+    aspace.mmap_fixed(va, 2 * PAGE_SIZE)
+    assert 2 * PAGE_SIZE not in aspace._free_ranges
+    # The address is taken: the next same-size mmap must not reuse it.
+    assert aspace.mmap(2 * PAGE_SIZE) != va
+
+
+def test_mmap_fixed_keeps_nonoverlapping_free_ranges(aspace):
+    va = aspace.mmap(3 * PAGE_SIZE)
+    aspace.munmap(va, 3 * PAGE_SIZE)
+    aspace.mmap_fixed(AddressSpace.MMAP_BASE - 64 * PAGE_SIZE, PAGE_SIZE)
+    # The freed heap range survives and is still reused LIFO.
+    assert aspace.mmap(3 * PAGE_SIZE) == va
+
+
+def test_munmap_two_adjacent_vmas_in_one_call(aspace):
+    # The bisect victim walk must collect every whole VMA in the range.
+    a = aspace.mmap(PAGE_SIZE)
+    b = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(a, b"a")
+    aspace.write(b, b"b")
+    aspace.munmap(a, (b + 2 * PAGE_SIZE) - a)  # spans both + the guard gap
+    assert aspace.find_vma(a) is None
+    assert aspace.find_vma(b) is None
+    assert aspace.resident_pages(a, (b + 2 * PAGE_SIZE) - a) == 0
+
+
+def test_find_vma_bisect_edges(aspace):
+    a = aspace.mmap(PAGE_SIZE)
+    b = aspace.mmap(PAGE_SIZE)
+    assert aspace.find_vma(a - 1) is None         # just before first VMA
+    assert aspace.find_vma(a).start == a          # first byte
+    assert aspace.find_vma(a + PAGE_SIZE) is None  # guard gap
+    assert aspace.find_vma(b + PAGE_SIZE - 1).start == b  # last byte
+    assert aspace.find_vma(b + PAGE_SIZE) is None  # just past last VMA

@@ -83,3 +83,99 @@ def test_release_calls_all_and_clears():
 def test_callback_notifier_release_optional():
     n = CallbackNotifier(lambda s, e: None)
     n.release()  # no-op, must not raise
+
+
+def test_unregister_peer_during_invalidate_still_delivers_current_round():
+    # The chain iterates a snapshot: A unregistering B mid-invalidation
+    # must not skip B for the round already in flight (Linux semantics —
+    # the teardown synchronises with in-progress callbacks), but B stays
+    # silent on the next round.
+    chain = MMUNotifierChain()
+    hits = []
+    b = CallbackNotifier(lambda s, e: hits.append("b"))
+
+    class Remover:
+        def invalidate_range(self, s, e):
+            hits.append("a")
+            if len(chain) == 2:
+                chain.unregister(b)
+
+        def release(self):
+            pass
+
+    chain.register(Remover())
+    chain.register(b)
+    chain.invalidate_range(0, 10)
+    assert hits == ["a", "b"]
+    chain.invalidate_range(0, 10)
+    assert hits == ["a", "b", "a"]
+
+
+def test_reregister_after_unregister_is_allowed():
+    chain = MMUNotifierChain()
+    n = CallbackNotifier(lambda s, e: None)
+    chain.register(n)
+    chain.unregister(n)
+    chain.register(n)  # id-set must have forgotten the first registration
+    assert len(chain) == 1
+
+
+# -- IntervalIndex ------------------------------------------------------------
+
+
+def _mk(entries):
+    from repro.kernel import IntervalIndex
+
+    idx = IntervalIndex()
+    for key, ranges in entries:
+        idx.add(key, ranges)
+    return idx
+
+
+def test_interval_index_stabbing_basics():
+    idx = _mk([(1, [(0x1000, 0x3000)]),
+               (2, [(0x2000, 0x4000)]),
+               (3, [(0x8000, 0x9000)])])
+    assert idx.overlapping(0x2800, 0x2900) == [1, 2]
+    assert idx.overlapping(0x3000, 0x8000) == [2]  # half-open: 1 excluded
+    assert idx.overlapping(0x8FFF, 0x10000) == [3]
+    assert idx.overlapping(0x4000, 0x8000) == []
+    assert idx.overlapping(0x100, 0x100) == []  # empty query
+    assert len(idx) == 3 and 2 in idx and 7 not in idx
+
+
+def test_interval_index_vectorial_key_hits_once():
+    idx = _mk([(5, [(0x1000, 0x2000), (0x6000, 0x7000)])])
+    # A query straddling both segments reports the key once.
+    assert idx.overlapping(0x1800, 0x6800) == [5]
+    assert idx.overlapping(0x6000, 0x6001) == [5]
+
+
+def test_interval_index_remove_and_duplicate_key():
+    import pytest as _pytest
+
+    idx = _mk([(1, [(0, 10)]), (2, [(5, 15)])])
+    with _pytest.raises(ValueError):
+        idx.add(1, [(100, 200)])
+    idx.remove(1)
+    assert idx.overlapping(0, 20) == [2]
+    assert 1 not in idx
+    with _pytest.raises(KeyError):
+        idx.remove(1)
+
+
+def test_interval_index_skips_empty_ranges():
+    idx = _mk([(1, [(50, 50), (10, 20)])])
+    assert idx.overlapping(40, 60) == []
+    assert idx.overlapping(15, 16) == [1]
+
+
+def test_interval_index_stale_max_len_never_loses_hits():
+    from repro.kernel import IntervalIndex
+
+    idx = IntervalIndex()
+    idx.add(1, [(0, 1 << 20)])   # huge interval sets _max_len
+    idx.add(2, [(1 << 21, (1 << 21) + 64)])
+    idx.remove(1)                # _max_len stays large (grow-only)
+    assert idx.overlapping((1 << 21) + 32, (1 << 21) + 33) == [2]
+    assert idx.overlapping(0, 1 << 20) == []

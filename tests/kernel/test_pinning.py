@@ -181,3 +181,99 @@ def test_pin_fraction_validation():
         PinService(0.0)
     with pytest.raises(ValueError):
         PinService(1.0)
+
+
+# -- fused fast path ----------------------------------------------------------
+
+
+def _pin_once(npages, contend=False, **kwargs):
+    """Fresh rig, one pin call; returns (final now, fused_pins, nframes)."""
+    env = Environment()
+    core = CpuCore(env, XEON_E5460, "h0", 0)
+    aspace = AddressSpace(PhysicalMemory(1024 * PAGE_SIZE), "p0")
+    pin = PinService()
+    va = aspace.mmap(npages * PAGE_SIZE)
+
+    def rival():
+        yield from core.execute(50, priority=0)
+
+    def work():
+        if contend:
+            env.process(rival())
+            yield env.timeout(0)  # let the rival claim the core first
+        frames = yield from pin.pin_user_pages(core, aspace, va, npages, **kwargs)
+        return frames
+
+    frames = env.run(until=env.process(work()))
+    return env.now, pin.fused_pins, len(frames)
+
+
+def test_uncontended_pin_is_fused_with_identical_timing():
+    # The fused single-charge path must land on exactly the same completion
+    # instant as the historical per-page charge ladder (forced here via an
+    # on_page callback, which disables fusing).
+    t_fused, fused, n = _pin_once(16)
+    t_slow, slow_fused, n_slow = _pin_once(16, on_page=lambda i, f: None)
+    assert fused == 1 and slow_fused == 0
+    assert n == n_slow == 16
+    assert t_fused == t_slow
+
+
+def test_contended_core_disables_fusing_same_timing():
+    # With another claimant on the core the intermediate re-acquisitions
+    # are observable, so the per-page path must run — and the fused gate
+    # must not change the outcome when it stands down.
+    t, fused, n = _pin_once(8, contend=True)
+    assert fused == 0 and n == 8
+    t2, fused2, _ = _pin_once(8, contend=True, on_page=lambda i, f: None)
+    assert fused2 == 0 and t2 == t
+
+
+def test_sliced_pin_never_fused():
+    _, fused, n = _pin_once(4, sliced=True)
+    assert fused == 0 and n == 4
+
+
+def test_fault_hook_disables_fusing():
+    class Hook:
+        def pin_delay_ns(self, npages):
+            return 0
+
+        def pin_should_fail(self):
+            return False
+
+    env = Environment()
+    core = CpuCore(env, XEON_E5460, "h0", 0)
+    aspace = AddressSpace(PhysicalMemory(64 * PAGE_SIZE), "p0")
+    pin = PinService()
+    pin.fault_hook = Hook()
+    va = aspace.mmap(2 * PAGE_SIZE)
+
+    def work():
+        return (yield from pin.pin_user_pages(core, aspace, va, 2))
+
+    frames = env.run(until=env.process(work()))
+    assert pin.fused_pins == 0 and len(frames) == 2
+
+
+def test_near_pin_limit_falls_back_to_per_page_path():
+    # can_pin() fails for the whole batch: the slow path must run (it is
+    # the one that can fail partway and roll back with exact charges).
+    env = Environment()
+    mem = PhysicalMemory(10 * PAGE_SIZE)  # max_pinned = 9 frames
+    core = CpuCore(env, XEON_E5460, "h0", 0)
+    aspace = AddressSpace(mem, "p0")
+    pin = PinService()
+    va = aspace.mmap(10 * PAGE_SIZE)
+
+    def work():
+        try:
+            yield from pin.pin_user_pages(core, aspace, va, 10)
+        except PinError:
+            return "failed"
+        return "pinned"
+
+    assert env.run(until=env.process(work())) == "failed"
+    assert pin.fused_pins == 0
+    assert pin.pin_failures == 1
+    assert mem.pinned_frames == 0  # rollback unpinned everything

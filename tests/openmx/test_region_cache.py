@@ -147,3 +147,26 @@ def test_forget_after_eviction_is_noop():
     assert h.destroyed == [r1]
     h.cache.forget(r1)
     assert len(h.cache) == 2
+
+
+def test_reuse_sweep_eviction_scans_only_the_lru_entry():
+    # The paper's reuse sweep: a rolling window of idle regions.  Each
+    # eviction must stop at the first (oldest) entry — the scan counter
+    # equals the number of evictions, not evictions * cache size.
+    h = Harness(capacity=4)
+    for i in range(12):
+        h.get(0x1000 + i * 0x10000, 4096)
+    assert len(h.destroyed) == 8
+    assert h.cache.counters["region_cache_evict_scan"] == 8
+    assert h.cache.counters["region_cache_evict"] == 8
+
+
+def test_eviction_scan_length_counts_skipped_busy_entries():
+    h = Harness(capacity=3)
+    r1 = h.get(0x1000, 4096)
+    r2 = h.get(0x2000, 4096)
+    h.get(0x3000, 4096)
+    h.active.update({r1, r2})  # LRU and next are mid-communication
+    h.get(0x4000, 4096)  # scans r1, r2 (busy), evicts the third
+    assert h.cache.counters["region_cache_evict_scan"] == 3
+    assert h.cache.counters["region_cache_evict"] == 1

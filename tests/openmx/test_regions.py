@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hw import PAGE_SIZE, PhysicalMemory
-from repro.kernel import AddressSpace
+from repro.kernel import AddressSpace, page_count
 from repro.openmx.regions import RegionState, Segment, UserRegion, segments_pages
 
 
@@ -135,3 +135,47 @@ def test_pages_needed_with_unaligned_start(aspace):
     assert r.pages_needed(0, PAGE_SIZE // 2) == 1
     assert r.pages_needed(0, PAGE_SIZE // 2 + 1) == 2
     assert r.pages_needed(r.total_length - 1, 1) == r.npages
+
+
+def test_segment_ranges_are_half_open(aspace):
+    va = aspace.mmap(4 * PAGE_SIZE)
+    region = UserRegion(1, aspace, (
+        Segment(va, 100), Segment(va + PAGE_SIZE, 2 * PAGE_SIZE)))
+    assert region.segment_ranges() == [
+        (va, va + 100),
+        (va + PAGE_SIZE, va + 3 * PAGE_SIZE),
+    ]
+
+
+def test_locate_bisect_matches_linear_scan(aspace):
+    # The prefix-array _locate must agree with a brute-force segment walk
+    # at every byte offset of a gnarly vectorial region (unaligned starts,
+    # segments out of address order, shared pages).
+    va = aspace.mmap(8 * PAGE_SIZE)
+    segments = (
+        Segment(va + 100, 300),
+        Segment(va + 3 * PAGE_SIZE - 17, PAGE_SIZE + 40),
+        Segment(va + PAGE_SIZE, 64),
+        Segment(va + 6 * PAGE_SIZE, 2 * PAGE_SIZE),
+    )
+    region = UserRegion(1, aspace, segments)
+
+    def linear(offset):
+        seg_off = 0
+        page_idx = 0
+        for seg in segments:
+            if seg_off <= offset < seg_off + seg.length:
+                delta = offset - seg_off
+                page = page_idx + ((seg.va + delta) // PAGE_SIZE
+                                   - seg.va // PAGE_SIZE)
+                return seg, delta, page
+            seg_off += seg.length
+            page_idx += page_count(seg.va, seg.length)
+        raise AssertionError
+
+    for offset in range(region.total_length):
+        assert region._locate(offset) == linear(offset)
+    with pytest.raises(ValueError):
+        region._locate(region.total_length)
+    with pytest.raises(ValueError):
+        region._locate(-1)
