@@ -240,6 +240,11 @@ def run_chaos(seed: int, steps: int, mode: PinningMode | None = None,
             checker.check_request_terminal(req, req_label)
         for n, lib in enumerate(cluster.all_libs()):
             checker.check_endpoint_quiescent(lib, f"node{n}")
+        # Quiescent cross-checks before teardown: every pin reference must
+        # be reachable from a live region, every notifier chain must mirror
+        # the open endpoints.
+        checker.check_frame_leaks()
+        checker.check_notifier_registrations()
 
         def teardown():
             for lib in cluster.all_libs():
@@ -248,6 +253,8 @@ def run_chaos(seed: int, steps: int, mode: PinningMode | None = None,
         env.run(until=env.process(teardown(), name="chaos.teardown"))
         env.run()
         checker.check_pin_accounting()
+        checker.check_frame_leaks()
+        checker.check_notifier_registrations()
 
     ok = sum(1 for _, r in completed if r.status == "ok")
     degraded = sum(1 for _, r in completed
@@ -293,10 +300,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the seed fan-out "
                              "(default 1: in-process)")
+    parser.add_argument("--until-failure", action="store_true",
+                        help="run seeds upward from --seed until one "
+                             "violates, then shrink it and print a repro "
+                             "command")
+    parser.add_argument("--max-seeds", type=int, default=None,
+                        help="with --until-failure: give up after N seeds")
     args = parser.parse_args(argv)
 
     seeds = range(*args.seeds) if args.seeds else [args.seed]
     mode = PinningMode(args.mode) if args.mode else None
+
+    if args.until_failure:
+        from repro.faults.shrink import hunt_until_failure
+
+        mode_flag = f" --mode {args.mode}" if args.mode else ""
+        found = hunt_until_failure(
+            lambda seed, steps: run_chaos(seed, steps, mode=mode),
+            args.seed, args.steps, max_seeds=args.max_seeds,
+            repro_command=lambda s, st: (
+                f"python -m repro.faults.chaos --seed {s} --steps {st}"
+                + mode_flag),
+        )
+        return 1 if found is not None else 0
+
     from repro.experiments.parallel import parallel_map
 
     results = parallel_map(

@@ -41,6 +41,10 @@ class InvariantChecker:
     def __init__(self, cluster):
         self.cluster = cluster
         self.violations: list[Violation] = []
+        # Address spaces that live outside the cluster's process lists
+        # (forked children owned by a workload); included in the orphan,
+        # frame-leak and notifier audits.
+        self.extra_aspaces: list = []
 
     def _fail(self, invariant: str, detail: str) -> None:
         self.violations.append(Violation(invariant, detail))
@@ -89,12 +93,87 @@ class InvariantChecker:
                                f"{host}: frame {frame.pfn} pin_count="
                                f"{frame.pin_count} after teardown")
                     break
+            pin = node.kernel.pin
+            if pin.reserved_pages != 0:
+                self._fail("pin_accounting",
+                           f"{host}: {pin.reserved_pages} budget pages still "
+                           f"reserved after teardown")
+            if pin.owner_footprint:
+                self._fail("pin_accounting",
+                           f"{host}: owner budget footprint not returned: "
+                           f"{pin.owner_footprint}")
             for proc in node.procs:
                 if proc.aspace.orphan_count != 0:
                     self._fail("pin_accounting",
                                f"{host}/{proc.aspace.name}: "
                                f"{proc.aspace.orphan_count} orphan frames "
                                f"leaked")
+        for aspace in self.extra_aspaces:
+            if aspace.orphan_count != 0:
+                self._fail("pin_accounting",
+                           f"{aspace.name}: {aspace.orphan_count} orphan "
+                           f"frames leaked (forked child)")
+
+    def check_frame_leaks(self) -> None:
+        """Every pin reference must be reachable from a live pin record.
+
+        Cross-checks the allocator's view (``frame.pin_count`` over every
+        in-use frame) against the driver's view (frames attached to declared
+        regions): a pinned frame no region points at is a leak — an unpin
+        path dropped the record without dropping the reference — and a
+        region frame whose pin_count disagrees with the number of regions
+        holding it is double-accounting.  Only meaningful at quiescence (no
+        pin/unpin generator mid-charge), e.g. after a drained episode or at
+        teardown.
+        """
+        for node in self.cluster.nodes:
+            host = node.host.name
+            refs: dict[int, int] = {}
+            for ep in node.driver.endpoints.values():
+                for region in ep.regions.values():
+                    for frame in region.frames:
+                        if frame is not None:
+                            refs[frame.pfn] = refs.get(frame.pfn, 0) + 1
+            for frame in node.host.memory.iter_used():
+                expected = refs.pop(frame.pfn, 0)
+                if frame.pin_count != expected:
+                    self._fail(
+                        "pin_accounting",
+                        f"{host}: frame {frame.pfn} pin_count="
+                        f"{frame.pin_count} but {expected} live region "
+                        f"reference(s) — "
+                        + ("leaked pin" if frame.pin_count > expected
+                           else "dangling region frame"))
+            for pfn, count in refs.items():
+                self._fail("pin_accounting",
+                           f"{host}: region(s) hold {count} reference(s) to "
+                           f"frame {pfn} which is not in use")
+
+    def check_notifier_registrations(self) -> None:
+        """Notifier chains must mirror the set of open endpoints.
+
+        Each open endpoint registers exactly one MMU notifier on its
+        process's address space; anything beyond that is a dangling
+        registration (an endpoint closed without unregistering, or a fork
+        child that inherited a chain it should not have).
+        """
+        for node in self.cluster.nodes:
+            host = node.host.name
+            for proc in node.procs:
+                expected = sum(1 for ep in node.driver.endpoints.values()
+                               if ep.proc is proc)
+                got = len(proc.aspace.notifiers)
+                if got != expected:
+                    self._fail("pin_accounting",
+                               f"{host}/{proc.aspace.name}: {got} notifier "
+                               f"registration(s), {expected} open "
+                               f"endpoint(s)")
+        for aspace in self.extra_aspaces:
+            if len(aspace.notifiers) != 0:
+                self._fail("pin_accounting",
+                           f"{aspace.name}: forked child has "
+                           f"{len(aspace.notifiers)} notifier "
+                           f"registration(s); expected none")
 
     def check_endpoint_quiescent(self, lib, label: str) -> None:
         """No driver-side protocol state may outlive the workload."""

@@ -1,0 +1,88 @@
+"""Failure shrinking for seeded fault harnesses (chaos, torture).
+
+When a ``--until-failure`` hunt lands on a violating seed, the raw repro is
+often huge (hundreds of steps).  :func:`shrink_failure` minimizes it the way
+property-testing shrinkers do, exploiting that every run is a pure function
+of ``(seed, steps)``:
+
+1. binary-search the smallest failing step count for the seed (invariant:
+   the high end of the bracket always fails, so the result is exact for
+   monotone failures and still-failing for flaky ones);
+2. scan a window of nearby smaller seeds at that step count and keep the
+   smallest one that still fails (different seeds often hit the same bug
+   with a shorter fault plan).
+
+The result is printed as a copy-pasteable repro command.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["hunt_until_failure", "shrink_failure"]
+
+
+def shrink_failure(
+    run: Callable[[int, int], object],
+    seed: int,
+    steps: int,
+    *,
+    min_steps: int = 1,
+    seed_scan: int = 8,
+    log: Callable[[str], None] = lambda _: None,
+) -> tuple[int, int]:
+    """Shrink a known-failing ``(seed, steps)``; returns the smaller pair.
+
+    ``run(seed, steps)`` must return a result object with a ``clean``
+    attribute (False = invariant violation).  The caller guarantees
+    ``run(seed, steps)`` fails; this function never returns a clean pair.
+    """
+    lo, hi = min_steps, steps
+    while lo < hi:
+        mid = (lo + hi) // 2
+        log(f"shrink: seed={seed} steps={mid} ...")
+        if not run(seed, mid).clean:
+            hi = mid
+        else:
+            lo = mid + 1
+    best_steps = hi
+    best_seed = seed
+    for candidate in range(max(0, seed - seed_scan), seed):
+        log(f"shrink: seed={candidate} steps={best_steps} ...")
+        if not run(candidate, best_steps).clean:
+            best_seed = candidate
+            break
+    return best_seed, best_steps
+
+
+def hunt_until_failure(
+    run: Callable[[int, int], object],
+    start_seed: int,
+    steps: int,
+    *,
+    max_seeds: int | None = None,
+    repro_command: Callable[[int, int], str] = None,
+    log: Callable[[str], None] = print,
+) -> tuple[int, int] | None:
+    """Run seeds ``start_seed, start_seed+1, ...`` until one violates.
+
+    On failure, shrinks it and logs a repro command; returns the shrunk
+    ``(seed, steps)``.  Returns None if ``max_seeds`` seeds all ran clean.
+    """
+    seed = start_seed
+    tried = 0
+    while max_seeds is None or tried < max_seeds:
+        result = run(seed, steps)
+        if result.clean:
+            log(f"seed={seed} steps={steps} clean")
+        else:
+            log(f"seed={seed} steps={steps} FAILED "
+                f"({len(result.violations)} violation(s)); shrinking ...")
+            best = shrink_failure(run, seed, steps, log=log)
+            if repro_command is not None:
+                log(f"repro: {repro_command(*best)}")
+            return best
+        seed += 1
+        tried += 1
+    log(f"no failure in {tried} seed(s) starting at {start_seed}")
+    return None

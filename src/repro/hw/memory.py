@@ -26,17 +26,23 @@ class OutOfMemory(Exception):
 class Frame:
     """One physical page frame."""
 
-    __slots__ = ("pfn", "pin_count", "_data", "in_use")
+    __slots__ = ("pfn", "pin_count", "map_count", "_data", "in_use")
 
     def __init__(self, pfn: int):
         self.pfn = pfn
         self.pin_count = 0
+        self.map_count = 0
         self.in_use = False
         self._data: bytearray | None = None
 
     @property
     def pinned(self) -> bool:
         return self.pin_count > 0
+
+    @property
+    def shared(self) -> bool:
+        """Mapped by more than one address space (COW after fork)."""
+        return self.map_count > 1
 
     @property
     def data(self) -> bytearray:
@@ -109,18 +115,38 @@ class PhysicalMemory:
             frame = Frame(pfn)
             self._frames[pfn] = frame
         frame.in_use = True
+        frame.map_count = 1
         frame._data = None  # fresh pages are zero-filled
         self.alloc_count += 1
         return frame
 
+    def share(self, frame: Frame) -> None:
+        """Take another mapping reference on a frame (fork COW sharing).
+
+        Only unpinned frames may be shared: pinned pages are eagerly copied
+        at fork (copy-on-pin), mirroring how DMA-pinned pages behave under
+        Linux ``copy_page_range``.
+        """
+        if not frame.in_use:
+            raise ValueError(f"sharing free frame {frame.pfn}")
+        if frame.pinned:
+            raise ValueError(f"sharing pinned frame {frame.pfn}")
+        frame.map_count += 1
+
     def free(self, frame: Frame) -> None:
         if not frame.in_use:
             raise ValueError(f"double free of frame {frame.pfn}")
+        if frame.map_count > 1:
+            # Another address space still maps this frame (COW sharing):
+            # just drop our mapping reference.
+            frame.map_count -= 1
+            return
         if frame.pinned:
             raise ValueError(
                 f"freeing pinned frame {frame.pfn} (pin_count={frame.pin_count})"
             )
         frame.in_use = False
+        frame.map_count = 0
         self._free_pfns.append(frame.pfn)
         self.free_count += 1
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 
-from repro.hw.memory import PAGE_SIZE, Frame, PhysicalMemory
+from repro.hw.memory import PAGE_SIZE, Frame, OutOfMemory, PhysicalMemory
 from repro.kernel.mmu_notifier import MMUNotifierChain
 
 __all__ = ["AddressSpace", "BadAddress", "Vma", "PAGE_SIZE", "page_count", "page_align"]
@@ -53,10 +53,18 @@ def page_count(addr: int, length: int) -> int:
 
 @dataclass
 class Vma:
-    """One virtual memory area: [start, end), page aligned."""
+    """One virtual memory area: [start, end), page aligned.
+
+    ``gen`` is a per-address-space creation stamp: a munmap + mmap that
+    lands on the same virtual range produces a VMA with a different
+    generation, which is how user-space caches can detect "same address,
+    new backing" without any kernel upcall (see
+    ``AddressSpace.range_generation``).
+    """
 
     start: int
     end: int
+    gen: int = 0
 
     def __contains__(self, addr: int) -> bool:
         return self.start <= addr < self.end
@@ -89,10 +97,13 @@ class AddressSpace:
         self._free_ranges: dict[int, list[int]] = {}
         self.notifiers = MMUNotifierChain()
         self._orphans: set[Frame] = set()
+        # Monotonic VMA-creation stamp (see Vma.gen / range_generation).
+        self._map_gen = 0
         # Statistics.
         self.faults = 0
         self.cow_breaks = 0
         self.swapins = 0
+        self.forks = 0
 
     # -- VMA management ------------------------------------------------------
     def mmap(self, length: int) -> int:
@@ -106,7 +117,8 @@ class AddressSpace:
         else:
             start = self._next_mmap
             self._next_mmap += size + PAGE_SIZE  # one-page guard gap
-        self._vmas[start] = Vma(start, start + size)
+        self._map_gen += 1
+        self._vmas[start] = Vma(start, start + size, gen=self._map_gen)
         insort(self._vma_starts, start)
         return start
 
@@ -143,7 +155,8 @@ class AddressSpace:
                 del self._free_ranges[rsize]
         if start not in self._vmas:
             insort(starts, start)
-        self._vmas[start] = Vma(start, end)
+        self._map_gen += 1
+        self._vmas[start] = Vma(start, end, gen=self._map_gen)
         return start
 
     def find_vma(self, addr: int) -> Vma | None:
@@ -175,6 +188,32 @@ class AddressSpace:
             va = vma.end
             i += 1
         return True
+
+    def range_generation(self, addr: int, length: int) -> tuple[int, ...]:
+        """Creation stamps of the VMAs backing [addr, addr+length).
+
+        A free + same-address remap changes the tuple even though the range
+        looks identical, so a user-space registration cache can detect "same
+        virtual range, different backing" (stale-translation bait) with one
+        comparison.  Unmapped (sub)ranges yield a ``-1`` entry — always a
+        mismatch against any live mapping.
+        """
+        if length <= 0:
+            return (-1,)
+        gens: list[int] = []
+        va = page_align(addr)
+        end = addr + length
+        starts = self._vma_starts
+        i = bisect_right(starts, va) - 1
+        while va < end:
+            vma = self._vmas[starts[i]] if 0 <= i < len(starts) else None
+            if vma is None or not (vma.start <= va < vma.end):
+                gens.append(-1)
+                return tuple(gens)
+            gens.append(vma.gen)
+            va = vma.end
+            i += 1
+        return tuple(gens)
 
     def munmap(self, addr: int, length: int) -> None:
         """Remove mappings in [addr, addr+length); fires MMU notifiers first.
@@ -270,6 +309,26 @@ class AddressSpace:
         self.faults += 1
         return frame
 
+    def _break_cow(self, vpn: int, notify: bool) -> Frame:
+        """Replace a COW-shared page with a private copy (write fault).
+
+        Linux ``wp_page_copy`` fires the MMU notifiers before installing the
+        new page table entry; ``notify=False`` is the ``get_user_pages`` /
+        FOLL_WRITE break, which needs no notification in this model because
+        a shared frame is by construction unpinned, so no driver translation
+        can reference it (frames enter a region's table only when pinned).
+        """
+        old = self._pages[vpn]
+        if notify:
+            self.notifiers.invalidate_range(vpn * PAGE_SIZE,
+                                            (vpn + 1) * PAGE_SIZE)
+        new = self.memory.allocate()
+        new.copy_contents_from(old)
+        self._pages[vpn] = new
+        self.memory.free(old)  # drops this aspace's mapping reference
+        self.cow_breaks += 1
+        return new
+
     # -- data access (application-level; timing charged by callers) ---------
     def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
         offset = 0
@@ -278,9 +337,12 @@ class AddressSpace:
         pages = self._pages
         while offset < length:
             va = addr + offset
-            frame = pages.get(va // PAGE_SIZE)
+            vpn = va // PAGE_SIZE
+            frame = pages.get(vpn)
             if frame is None:
                 frame = self.fault_in(va)  # absent page: take the fault
+            elif frame.map_count > 1:
+                frame = self._break_cow(vpn, notify=True)  # COW write fault
             in_page = va % PAGE_SIZE
             chunk = min(PAGE_SIZE - in_page, length - offset)
             frame.write(in_page, data[offset : offset + chunk])
@@ -304,6 +366,11 @@ class AddressSpace:
     # -- pinning hooks (used by repro.kernel.pinning) ------------------------
     def pin_page(self, addr: int) -> Frame:
         frame = self.fault_in(addr)
+        if frame.map_count > 1:
+            # get_user_pages with FOLL_WRITE breaks COW before pinning: a
+            # DMA target must be private to this address space, or the DMA
+            # would scribble on the other process's copy.
+            frame = self._break_cow(addr // PAGE_SIZE, notify=False)
         self.memory.account_pin(frame)
         return frame
 
@@ -364,7 +431,10 @@ class AddressSpace:
         kept: list[int] = []
         for vpn in res[lo:hi]:
             frame = self._pages[vpn]
-            if frame.pinned:
+            if frame.pinned or frame.map_count > 1:
+                # Pinned pages cannot be swapped; COW-shared pages stay too
+                # (no swap cache in this model — the sibling address space
+                # still maps the frame directly).
                 kept.append(vpn)
                 continue
             self._swap[vpn] = frame.read(0, PAGE_SIZE)
@@ -374,3 +444,69 @@ class AddressSpace:
             moved += 1
         res[lo:hi] = kept
         return moved
+
+    # -- fork -----------------------------------------------------------------
+    def fork(self, name: str) -> "AddressSpace":
+        """Duplicate this address space the way ``copy_page_range`` does.
+
+        Semantics that matter to the pinning machinery:
+
+        * the parent's MMU notifiers fire an invalidation over every mapped
+          range *before* the copy — Linux forks conservatively when
+          notifiers are registered, because write-protecting the parent's
+          PTEs for COW changes translations under any pinning cache.  Idle
+          pinned regions are unpinned instantly; regions with active
+          communications keep their frames (deferred invalidation), which is
+          why those pages must be copied eagerly below;
+        * pages that are still pinned after the invalidation (active DMA)
+          are **eagerly copied** into the child — a COW-shared page can
+          never be pinned (copy-on-pin, the MADV_DONTFORK/pre-5.12 COW-vs-GUP
+          lesson), so parent DMA keeps landing in parent-visible frames;
+        * every other resident page is shared copy-on-write
+          (``Frame.map_count``); the first write on either side breaks the
+          share via :meth:`_break_cow`;
+        * the child starts with a **fresh, empty** notifier chain: notifier
+          registrations are mm-scoped and are not inherited across fork.
+
+        Raises :class:`OutOfMemory` (before touching any state) if the eager
+        copies cannot be satisfied.
+        """
+        # Pre-flight: eager copies needed = resident pinned pages.  Checking
+        # first keeps fork atomic — no half-built child on OOM.
+        pinned_vpns = [vpn for vpn in self._resident if self._pages[vpn].pinned]
+        if len(pinned_vpns) > self.memory.free_frames:
+            raise OutOfMemory(
+                f"fork of {self.name}: {len(pinned_vpns)} eager page copies "
+                f"need more than {self.memory.free_frames} free frames"
+            )
+        # Conservative pre-copy invalidation over every mapped range.  This
+        # may unpin idle regions, shrinking pinned_vpns — recompute after.
+        for start in self._vma_starts:
+            vma = self._vmas[start]
+            self.notifiers.invalidate_range(vma.start, vma.end)
+
+        child = AddressSpace(self.memory, name)
+        child._next_mmap = self._next_mmap
+        child._map_gen = self._map_gen
+        child._free_ranges = {size: list(starts)
+                              for size, starts in self._free_ranges.items()}
+        for start in self._vma_starts:
+            vma = self._vmas[start]
+            child._vmas[start] = Vma(vma.start, vma.end, gen=vma.gen)
+        child._vma_starts = list(self._vma_starts)
+        for vpn in self._resident:
+            frame = self._pages[vpn]
+            if frame.pinned:
+                # Active DMA holds this page: copy it so the child gets a
+                # private snapshot and the parent's DMA target stays put.
+                copy = self.memory.allocate()
+                copy.copy_contents_from(frame)
+                child._pages[vpn] = copy
+            else:
+                self.memory.share(frame)
+                child._pages[vpn] = frame
+        child._resident = list(self._resident)
+        child._swap = dict(self._swap)
+        child._swap_vpns = list(self._swap_vpns)
+        self.forks += 1
+        return child

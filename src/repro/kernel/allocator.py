@@ -111,6 +111,23 @@ class Malloc:
         else:
             self._bins.setdefault(self._round(alloc.size), []).append(addr)
 
+    def clone_for(self, aspace: AddressSpace) -> "Malloc":
+        """Allocator state for a forked child.
+
+        fork() copies the heap wholesale, so the child's allocator metadata
+        (arena cursor, size-class bins, live allocations) starts as an exact
+        copy of the parent's — same addresses, now backed by COW pages in the
+        child's address space.
+        """
+        clone = Malloc(aspace, mmap_threshold=self.mmap_threshold,
+                       arena_chunk=self.arena_chunk)
+        clone._arena_base = self._arena_base
+        clone._arena_used = self._arena_used
+        clone._arena_size = self._arena_size
+        clone._bins = {size: list(addrs) for size, addrs in self._bins.items()}
+        clone._live = dict(self._live)
+        return clone
+
     def live_allocations(self) -> int:
         return len(self._live)
 

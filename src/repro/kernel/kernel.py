@@ -68,6 +68,24 @@ class UserProcess:
         self.aspace = AddressSpace(kernel.host.memory, self.name)
         self.heap = Malloc(self.aspace)
 
+    def fork(self, name: str) -> "UserProcess":
+        """fork(2): a child process with a COW copy of this address space.
+
+        The child shares the home core (it is a workload driver, not a
+        scheduler entity) and gets a cloned allocator over the forked
+        address space.  The caller owns the child's lifecycle — it is not
+        added to the kernel's process list, and must be torn down with
+        ``child.aspace.destroy()``.
+        """
+        child = UserProcess.__new__(UserProcess)
+        child.kernel = self.kernel
+        child.env = self.env
+        child.name = f"{self.kernel.host.name}/{name}"
+        child.core = self.core
+        child.aspace = self.aspace.fork(child.name)
+        child.heap = self.heap.clone_for(child.aspace)
+        return child
+
     # -- memory ---------------------------------------------------------------
     def malloc(self, size: int) -> int:
         return self.heap.malloc(size)

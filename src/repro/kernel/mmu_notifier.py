@@ -56,7 +56,15 @@ class CallbackNotifier:
 
 
 class MMUNotifierChain:
-    """The per-address-space list of registered notifiers."""
+    """The per-address-space list of registered notifiers.
+
+    Teardown follows the mm-scoped discipline the hfi1 driver adopted to fix
+    its notifier deadlocks: :meth:`release` *detaches* each notifier from the
+    chain before invoking its ``release()`` callback, so nothing the callback
+    does (driver cleanup, region invalidation) can re-enter the dying chain
+    or double-deliver; :meth:`unregister` after the mm died is an idempotent
+    no-op, so an endpoint closing after its process exited cannot blow up.
+    """
 
     def __init__(self) -> None:
         self._notifiers: list[MMUNotifier] = []
@@ -65,16 +73,27 @@ class MMUNotifierChain:
         # instead of an __eq__ scan of the whole chain.
         self._ids: set[int] = set()
         self.invalidations = 0
+        self.dead = False  # set once release() ran (mm is gone)
+        self._releasing = False
 
     def register(self, notifier: MMUNotifier) -> None:
+        if self.dead:
+            # mmu_notifier_register on an exiting mm fails; registering a
+            # cache on a dead address space is a caller bug.
+            raise ValueError("registering a notifier on a dead address space")
         if id(notifier) in self._ids:
             raise ValueError("notifier registered twice")
         self._notifiers.append(notifier)
         self._ids.add(id(notifier))
 
-    def unregister(self, notifier: MMUNotifier) -> None:
+    def unregister(self, notifier: MMUNotifier) -> bool:
+        """Detach a notifier; returns False if it was not (or no longer)
+        registered — release() already detached it, mm-scoped teardown."""
+        if id(notifier) not in self._ids:
+            return False
         self._notifiers.remove(notifier)
         self._ids.discard(id(notifier))
+        return True
 
     def __len__(self) -> int:
         return len(self._notifiers)
@@ -82,16 +101,29 @@ class MMUNotifierChain:
     def invalidate_range(self, start: int, end: int) -> None:
         if start >= end:
             return
+        if self._releasing:
+            # Teardown already delivered release() to every notifier; the
+            # page-table teardown that follows must not double-invalidate.
+            return
         self.invalidations += 1
         # Iterate over a copy: a notifier may unregister itself.
         for notifier in list(self._notifiers):
             notifier.invalidate_range(start, end)
 
     def release(self) -> None:
-        for notifier in list(self._notifiers):
-            notifier.release()
-        self._notifiers.clear()
-        self._ids.clear()
+        if self.dead:
+            return  # double-destroy: deliver release exactly once
+        self._releasing = True
+        try:
+            # Detach-then-call, one notifier at a time: by the time a
+            # callback runs, its notifier is already off the chain.
+            while self._notifiers:
+                notifier = self._notifiers.pop(0)
+                self._ids.discard(id(notifier))
+                notifier.release()
+        finally:
+            self._releasing = False
+            self.dead = True
 
 
 class IntervalIndex:

@@ -20,7 +20,7 @@ from repro.hw.memory import PAGE_SIZE, Frame, OutOfMemory
 from repro.kernel.address_space import AddressSpace, BadAddress
 from repro.obs.metrics import MetricRegistry, resolve_registry
 
-__all__ = ["PinError", "PinService", "PIN_FRACTION"]
+__all__ = ["PinError", "PinReservation", "PinService", "PIN_FRACTION"]
 
 # Fraction of the combined pin+unpin cycle charged at pin time.  Faulting and
 # reference-taking dominate the pin half; unpin is mostly refcount drops.
@@ -29,6 +29,38 @@ PIN_FRACTION = 0.75
 
 class PinError(Exception):
     """Pinning failed (invalid address range or pinned-page limit)."""
+
+
+class PinReservation:
+    """A slice of the pinned-page budget set aside for one pin operation.
+
+    Granted by :meth:`PinService.try_reserve` / :meth:`PinService.reserve_budget`;
+    consumed page by page as frames are actually pinned and released (with the
+    unconsumed remainder returned to the budget) when the operation ends.
+    """
+
+    __slots__ = ("owner", "pages")
+
+    def __init__(self, owner, pages: int):
+        self.owner = owner
+        self.pages = pages
+
+
+class _BudgetWaiter:
+    """One FIFO queue entry waiting for pin-budget headroom."""
+
+    __slots__ = ("event", "memory", "npages", "owner", "cap",
+                 "cancelled", "granted", "token")
+
+    def __init__(self, event, memory, npages: int, owner, cap: int):
+        self.event = event
+        self.memory = memory
+        self.npages = npages
+        self.owner = owner
+        self.cap = cap
+        self.cancelled = False
+        self.granted = False
+        self.token: PinReservation | None = None
 
 
 class PinService:
@@ -44,6 +76,18 @@ class PinService:
         self.pages_pinned = 0
         self.pin_failures = 0
         self.fused_pins = 0  # pins served by the single-charge fast path
+        # Fair budget admission (see reserve_budget): pages promised to
+        # not-yet-completed pin operations, a per-owner footprint for the
+        # share cap (reserved pages PLUS consumed-and-still-held pages —
+        # the cap is on what an owner occupies, not on what it has merely
+        # promised; owner_release() returns pages when the owner's pins are
+        # dropped), and the FIFO waiter queue.  All zero/empty unless a
+        # caller opts into reservations, so legacy runs are unaffected.
+        self._reserved = 0
+        self._owner_pages: dict = {}
+        self._waiters: list[_BudgetWaiter] = []
+        self.budget_waits = 0  # reservations that had to queue
+        self.budget_timeouts = 0  # queue waits that expired ungranted
         # Fault injection: an object with ``pin_delay_ns(npages) -> int``
         # (extra CPU charged before the pin) and ``pin_should_fail() -> bool``
         # (transient ENOMEM: the attempt rolls back and raises PinError).
@@ -64,12 +108,192 @@ class PinService:
         self._m_pin_failures = registry.counter(
             "kernel_pin_failures", "pin calls that failed (bad range / OOM)",
             labelnames=("host",)).labels(**lbl)
+        self._m_reserved_pages = registry.gauge(
+            "kernel_pin_reserved_pages",
+            "pages of the pin budget reserved by queued/admitted pinners",
+            labelnames=("host",)).labels(**lbl)
+        self._m_queue_wait = registry.histogram(
+            "kernel_pin_queue_wait_ns",
+            "time spent queued for pin-budget headroom",
+            labelnames=("host",)).labels(**lbl)
+        self._m_queue_timeouts = registry.counter(
+            "kernel_pin_queue_timeouts",
+            "budget-queue waits that expired before admission",
+            labelnames=("host",)).labels(**lbl)
 
     def account_unpin(self, nframes: int) -> None:
         """Bookkeeping for unpins performed by callers that charge their own
         CPU time (PinManager's deferred-unpin and reclaim paths)."""
         self.unpins += 1
         self._m_pinned_pages.dec(nframes)
+        if self._waiters:
+            self._drain_waiters()
+
+    # -- fair budget admission ----------------------------------------------
+    #
+    # The legacy path races every pinner against ``Memory.account_pin``:
+    # first page wins, and a heavy pinner that keeps the budget saturated
+    # starves everyone else into their retry/fallback ladders.  The
+    # reservation protocol fixes admission without touching the page-level
+    # accounting: a pin operation first *reserves* its page count against
+    # ``max_pinned`` (so concurrent reservations cannot jointly overshoot),
+    # queues FIFO when there is no headroom, and converts the reservation
+    # into real pinned pages batch by batch.  Waiters are woken in order as
+    # unpins create headroom; a waiter blocked only by its own share cap can
+    # be overtaken (otherwise one greedy owner would block the whole queue),
+    # a waiter blocked by the budget itself cannot (starvation freedom).
+
+    def budget_headroom(self, memory) -> int:
+        """Unreserved, unpinned budget pages available right now."""
+        return memory.max_pinned - memory.pinned_frames - self._reserved
+
+    @property
+    def reserved_pages(self) -> int:
+        """Pages promised to in-flight pin operations (oracle hook)."""
+        return self._reserved
+
+    @property
+    def owner_footprint(self) -> dict:
+        """Per-owner held budget pages, reserved + consumed (oracle hook)."""
+        return dict(self._owner_pages)
+
+    def _owner_cap(self, memory, max_share: float) -> int:
+        return int(memory.max_pinned * max_share)
+
+    def _grant(self, npages: int, owner) -> PinReservation:
+        self._reserved += npages
+        if owner is not None:
+            self._owner_pages[owner] = (
+                self._owner_pages.get(owner, 0) + npages)
+        self._m_reserved_pages.inc(npages)
+        return PinReservation(owner, npages)
+
+    def try_reserve(self, memory, npages: int, owner,
+                    max_share: float = 1.0) -> PinReservation | None:
+        """Reserve ``npages`` of budget immediately, or return None.
+
+        Fails when the queue is non-empty (no overtaking the FIFO), when the
+        headroom is short, or when the owner's share cap would be exceeded.
+        """
+        if npages <= 0:
+            raise ValueError(f"cannot reserve {npages} pages")
+        if any(not w.cancelled for w in self._waiters):
+            return None
+        if npages > self.budget_headroom(memory):
+            return None
+        if owner is not None and max_share < 1.0:
+            cap = self._owner_cap(memory, max_share)
+            if self._owner_pages.get(owner, 0) + npages > cap:
+                return None
+        return self._grant(npages, owner)
+
+    def reserve_budget(self, core: CpuCore, memory, npages: int, owner,
+                       max_wait_ns: int, max_share: float = 1.0) -> Generator:
+        """Process: reserve ``npages``, queueing up to ``max_wait_ns``.
+
+        Returns a :class:`PinReservation`, or None if the bounded wait
+        expired before headroom appeared — the caller degrades (copy-through
+        fallback) instead of holding the budget hostage.
+        """
+        token = self.try_reserve(memory, npages, owner, max_share)
+        if token is not None:
+            return token
+        self.budget_waits += 1
+        env = core.env
+        event = env.event()
+        cap = self._owner_cap(memory, max_share)
+        waiter = _BudgetWaiter(event, memory, npages, owner, cap)
+        self._waiters.append(waiter)
+        # A share-capped head is skippable: this newcomer may be admissible
+        # right now even though its try_reserve failed on the non-empty
+        # queue.  Drain once so it does not wait for the next unpin.
+        self._drain_waiters()
+        timer = env.timeout(max(max_wait_ns, 0))
+        t_start = env.now
+        yield env.any_of((event, timer))
+        self._m_queue_wait.observe(env.now - t_start)
+        if waiter.granted:
+            timer.cancel()
+            return waiter.token
+        # Timed out: mark for lazy removal so _drain_waiters skips us.
+        waiter.cancelled = True
+        self.budget_timeouts += 1
+        self._m_queue_timeouts.inc()
+        return None
+
+    def consume_reservation(self, token: PinReservation, npages: int) -> None:
+        """Convert reserved pages into really-pinned pages (no new headroom:
+        ``pinned_frames`` grew by exactly what ``_reserved`` shrank).  The
+        owner's footprint is untouched — the pages are still *held*, just no
+        longer merely promised; :meth:`owner_release` returns them when the
+        owner's pins are actually dropped."""
+        take = min(npages, token.pages)
+        if take <= 0:
+            return
+        token.pages -= take
+        self._reserved -= take
+        self._m_reserved_pages.dec(take)
+
+    def release_reservation(self, token: PinReservation) -> None:
+        """Return a reservation's unconsumed remainder to the budget."""
+        remainder = token.pages
+        if remainder <= 0:
+            return
+        token.pages = 0
+        self._reserved -= remainder
+        self._owner_release(token.owner, remainder)
+        self._m_reserved_pages.dec(remainder)
+        if self._waiters:
+            self._drain_waiters()
+
+    def owner_release(self, owner, npages: int) -> None:
+        """Return ``npages`` of an owner's *held* (consumed) footprint.
+
+        Called by the pin manager when an owned region's pinned frames are
+        dropped (unpin, reclaim, invalidation, rollback) — the counterpart
+        of the footprint that :meth:`consume_reservation` leaves in place.
+        Wakes share-capped waiters that now fit under their cap.
+        """
+        if owner is None or npages <= 0:
+            return
+        self._owner_release(owner, npages)
+        if self._waiters:
+            self._drain_waiters()
+
+    def _owner_release(self, owner, npages: int) -> None:
+        if owner is None:
+            return
+        left = self._owner_pages.get(owner, 0) - npages
+        if left > 0:
+            self._owner_pages[owner] = left
+        else:
+            self._owner_pages.pop(owner, None)
+
+    def _drain_waiters(self) -> None:
+        """Admit queued waiters in FIFO order as headroom allows.
+
+        A waiter short on *budget* blocks everyone behind it (strict FIFO —
+        small requests cannot starve a large one by slipping past forever);
+        a waiter blocked only by its own *share cap* is skipped so one
+        over-cap owner cannot wedge the queue.
+        """
+        i = 0
+        while i < len(self._waiters):
+            waiter = self._waiters[i]
+            if waiter.cancelled:
+                del self._waiters[i]
+                continue
+            if waiter.npages > self.budget_headroom(waiter.memory):
+                break
+            if (waiter.owner is not None
+                    and self._owner_pages.get(waiter.owner, 0)
+                    + waiter.npages > waiter.cap):
+                i += 1
+                continue
+            del self._waiters[i]
+            waiter.granted = True
+            waiter.token = self._grant(waiter.npages, waiter.owner)
+            waiter.event.succeed()
 
     # -- cost model ---------------------------------------------------------
     def pin_cost_ns(self, core: CpuCore, npages: int) -> int:
@@ -139,7 +363,7 @@ class PinService:
         memory = aspace.memory
         if (not sliced and on_page is None and self.fault_hook is None
                 and not core.busy and core.queue_length == 0
-                and memory.can_pin(npages)
+                and memory.can_pin(npages + self._reserved)
                 and memory.free_frames >= npages):
             yield from core.execute(base + per_page * npages, priority)
             try:

@@ -84,9 +84,28 @@ class OpenMXConfig:
     pin_retry_backoff_ns: int = 100_000
     pin_fallback_to_copy: bool = True
 
+    # Fair pin-budget admission (off by default: legacy behaviour is
+    # reclaim-then-try, first caller to the budget wins).  When enabled, a
+    # region pin first *reserves* its pages against the host's pinned-page
+    # budget; if the budget is exhausted it joins a FIFO waiter queue
+    # (starvation-free: nobody overtakes a budget-blocked waiter) for at
+    # most ``pin_queue_wait_max_ns`` before the request degrades to the
+    # copy-through fallback.  ``pin_queue_max_share`` caps the fraction of
+    # the budget one owner (endpoint) may hold in reservations, so a single
+    # heavy pinner cannot monopolize admission.
+    pin_queue_enabled: bool = False
+    pin_queue_wait_max_ns: int = 2_000_000
+    pin_queue_max_share: float = 1.0
+
     # User-space region cache (Section 3.2).
     region_cache_capacity: int = 64
     cache_lookup_ns: int = 250  # hash lookup + pinned-state check
+    # Validate cache hits against the VMA creation generation of the hit
+    # range (off by default: the paper's design needs no user-space
+    # invalidation — kernel notifiers keep stale *pins* safe; the check
+    # detects "same range, new backing" and turns the hit into a miss so
+    # the descriptor table does not accumulate dead regions).
+    region_cache_validate: bool = False
 
     # Overlap bookkeeping: the per-packet watermark test the paper calls
     # "some additional tests on the region descriptor".

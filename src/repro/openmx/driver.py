@@ -279,7 +279,7 @@ class OpenMXDriver:
         """
         yield from ctx.charge(100 + 50 * len(segments))
         rid = ep.new_region_id()
-        region = UserRegion(rid, ep.proc.aspace, segments)
+        region = UserRegion(rid, ep.proc.aspace, segments, owner=ep.id)
         ep.regions[rid] = region
         ep.region_index.add(rid, region.segment_ranges())
         self.counters.incr("regions_declared")
@@ -535,7 +535,8 @@ class OpenMXDriver:
         ok = yield from self.pin_mgr.acquire_pinned(ctx, region)
         attempt = 0
         while (not ok and attempt < self.config.pin_retry_max
-               and not region.destroyed and self._region_mapped(region)):
+               and not region.destroyed and not region.pin_denied
+               and self._region_mapped(region)):
             yield self.env.timeout(self.config.pin_retry_backoff_ns << attempt)
             attempt += 1
             self.counters.incr("pin_retry")

@@ -92,6 +92,11 @@ class OmxLib:
         else:
             capacity = 0  # no caching at all
         self._use_cache = capacity is None or capacity > 0
+        range_gen = None
+        if self.config.region_cache_validate:
+            aspace = proc.aspace
+            range_gen = lambda segments: tuple(
+                aspace.range_generation(s.va, s.length) for s in segments)
         self.cache = RegionCache(
             self.config,
             declare=self._declare_region,
@@ -99,6 +104,7 @@ class OmxLib:
             is_idle=self._region_is_idle,
             capacity=capacity,
             counters=driver.counters,
+            range_gen=range_gen,
         )
         self._posted: list[OmxRequest] = []
         self._unexpected: list[_UnexpectedEager | _UnexpectedRndv] = []

@@ -116,8 +116,18 @@ class PinManager:
         frames = region.take_pinned_frames()
         if frames:
             self.kernel.pin.unpin_now(region.aspace, frames)
+        self._release_owner_budget(region)
         self._pinned_idle.pop(region.id, None)
         self._wake_waiters(region)
+
+    def _release_owner_budget(self, region: UserRegion) -> None:
+        """Hand a region's consumed admission-budget pages back to its
+        owner's share-cap footprint.  Every path that drops the region's
+        pinned frames (unpin, reclaim, invalidation, rollback) funnels
+        through this; a no-op for unowned regions and legacy mode."""
+        if region.budget_pages:
+            self.kernel.pin.owner_release(region.owner, region.budget_pages)
+            region.budget_pages = 0
 
     # -- pinning ----------------------------------------------------------------
     def acquire_pinned(self, ctx: ExecContext, region: UserRegion) -> Generator:
@@ -181,6 +191,47 @@ class PinManager:
             self.counters.incr("prefix_pinned")
         return ok
 
+    def _admit(self, core: CpuCore, region: UserRegion, npages: int,
+               priority: int) -> Generator:
+        """Process: reserve pin budget for ``npages`` via the fair queue.
+
+        Returns a reservation token, or None when the region must give up —
+        either the bounded queue wait expired (``region.pin_denied`` is set
+        so the driver degrades straight to copy-through) or the region was
+        invalidated/destroyed while waiting.  The region is parked in
+        PINNING state for the duration so no second pinner starts, and left
+        resumable (UNPINNED) on failure.
+        """
+        pin = self.kernel.pin
+        memory = region.aspace.memory
+        share = self.config.pin_queue_max_share
+        region.state = RegionState.PINNING
+        region.pin_cancelled = False
+        epoch = region.pin_epoch
+        token = pin.try_reserve(memory, npages, region.owner, share)
+        if token is None:
+            yield from self._reclaim(core, npages, priority, exclude=region.id)
+            token = pin.try_reserve(memory, npages, region.owner, share)
+        if token is None:
+            self.counters.incr("pin_budget_wait")
+            token = yield from pin.reserve_budget(
+                core, memory, npages, region.owner,
+                self.config.pin_queue_wait_max_ns, share)
+        aborted = (region.pin_cancelled or region.destroyed
+                   or region.pin_epoch != epoch)
+        if token is not None and not aborted:
+            return token
+        if token is not None:
+            pin.release_reservation(token)
+            self.counters.incr("pin_cancelled")
+        else:
+            region.pin_denied = True
+            self.counters.incr("pin_budget_denied")
+        if region.state is RegionState.PINNING:
+            region.state = RegionState.UNPINNED
+        self._wake_waiters(region)
+        return None
+
     def _pin_loop(self, core: CpuCore, region: UserRegion, priority: int,
                   stop_at: int | None = None) -> Generator:
         """Pin the region's remaining pages batch by batch.
@@ -192,47 +243,72 @@ class PinManager:
         pin = self.kernel.pin
         limit = region.npages if stop_at is None else min(stop_at, region.npages)
         npages_left = limit - region.watermark
-        if npages_left > 0 and not region.aspace.memory.can_pin(npages_left):
+        region.pin_denied = False
+        token = None
+        if self.config.pin_queue_enabled and npages_left > 0:
+            token = yield from self._admit(core, region, npages_left, priority)
+            if token is None:
+                return False
+        elif npages_left > 0 and not region.aspace.memory.can_pin(npages_left):
+            # Park concurrent acquirers before yielding into the reclaim: a
+            # second pinner slipping through the UNPINNED window would run
+            # its own pin loop against the same region and the interleaved
+            # attaches would double-pin pages and overrun the watermark.
+            region.state = RegionState.PINNING
             yield from self._reclaim(core, npages_left, priority, exclude=region.id)
         region.state = RegionState.PINNING
         region.pin_cancelled = False
         epoch = region.pin_epoch
         start_mark = region.watermark
+        if token is None:
+            attach = lambda batch: region.attach_frames(region.watermark, batch)
+        else:
+            def attach(batch):
+                region.attach_frames(region.watermark, batch)
+                pin.consume_reservation(token, len(batch))
+                region.budget_pages += len(batch)
         try:
-            yield from pin.pin_pages_batched(
-                core,
-                region.aspace,
-                region.page_vas[:limit],
-                priority=priority,
-                start_index=start_mark,
-                batch_pages=PIN_BATCH_PAGES,
-                on_batch=lambda batch: region.attach_frames(region.watermark, batch),
-                should_abort=lambda: (
-                    region.pin_cancelled
-                    or region.destroyed
-                    or region.pin_epoch != epoch
-                ),
-            )
-        except PinError:
-            # pin_pages_batched rolled back only *this call's* frames.  A
-            # resumed pin (watermark advanced by an earlier, aborted call)
-            # may still hold frames attached back then; mark_failed() would
-            # silently discard them and they would stay pinned forever —
-            # invisible to every unpin path.  Release them here, paying the
-            # unpin cost like any other rollback.  Scope by position, not
-            # pin_count: frames below ``start_mark`` carry this region's
-            # reference, frames at/above it belonged to the failing call and
-            # were already rolled back (their pin_count may still be nonzero
-            # through an overlapping region — that reference is not ours).
-            leftovers = [f for f in region.frames[:start_mark] if f is not None]
-            region.mark_failed()
-            self.counters.incr("pin_failed")
-            self._wake_waiters(region)
-            if leftovers:
-                self.counters.incr("pin_failed_rollback_pages", len(leftovers))
-                yield from pin.unpin_user_pages(core, region.aspace,
-                                                leftovers, priority)
-            return False
+            try:
+                yield from pin.pin_pages_batched(
+                    core,
+                    region.aspace,
+                    region.page_vas[:limit],
+                    priority=priority,
+                    start_index=start_mark,
+                    batch_pages=PIN_BATCH_PAGES,
+                    on_batch=attach,
+                    should_abort=lambda: (
+                        region.pin_cancelled
+                        or region.destroyed
+                        or region.pin_epoch != epoch
+                    ),
+                )
+            except PinError:
+                # pin_pages_batched rolled back only *this call's* frames.  A
+                # resumed pin (watermark advanced by an earlier, aborted call)
+                # may still hold frames attached back then; mark_failed() would
+                # silently discard them and they would stay pinned forever —
+                # invisible to every unpin path.  Release them here, paying the
+                # unpin cost like any other rollback.  Scope by position, not
+                # pin_count: frames below ``start_mark`` carry this region's
+                # reference, frames at/above it belonged to the failing call and
+                # were already rolled back (their pin_count may still be nonzero
+                # through an overlapping region — that reference is not ours).
+                leftovers = [f for f in region.frames[:start_mark] if f is not None]
+                region.mark_failed()
+                self._release_owner_budget(region)
+                self.counters.incr("pin_failed")
+                self._wake_waiters(region)
+                if leftovers:
+                    self.counters.incr("pin_failed_rollback_pages", len(leftovers))
+                    yield from pin.unpin_user_pages(core, region.aspace,
+                                                    leftovers, priority)
+                return False
+        finally:
+            # Cancelled/aborted pins leave part of the reservation
+            # unconsumed; hand it back so queued waiters can progress.
+            if token is not None:
+                pin.release_reservation(token)
         self._wake_waiters(region)
         if region.state is RegionState.PINNED:
             self.counters.incr("region_pinned")
@@ -260,6 +336,7 @@ class PinManager:
         for frame in frames:
             region.aspace.unpin_frame(frame)
         self.kernel.pin.account_unpin(len(frames))
+        self._release_owner_budget(region)
         self._pinned_idle.pop(region.id, None)
         self.counters.incr("region_unpinned")
 
@@ -280,6 +357,7 @@ class PinManager:
                 for frame in frames:
                     victim.aspace.unpin_frame(frame)
                 self.kernel.pin.account_unpin(len(frames))
+            self._release_owner_budget(victim)
             self._pinned_idle.pop(victim.id, None)
             self.counters.incr("reclaim_unpinned")
 

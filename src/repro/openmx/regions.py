@@ -63,11 +63,14 @@ class UserRegion:
     """A declared region and its pin state."""
 
     def __init__(self, region_id: int, aspace: AddressSpace,
-                 segments: tuple[Segment, ...]):
+                 segments: tuple[Segment, ...], owner: int | None = None):
         if not segments:
             raise ValueError("a region needs at least one segment")
         self.id = region_id
         self.aspace = aspace
+        # Admission-queue identity: which endpoint declared the region (the
+        # per-owner budget-share cap keys on this).  None for bare regions.
+        self.owner = owner
         self.segments = tuple(segments)
         self.total_length = sum(s.length for s in segments)
         self.page_vas = segments_pages(self.segments)
@@ -77,6 +80,14 @@ class UserRegion:
         self.state = RegionState.UNPINNED
         self.destroyed = False
         self.pin_cancelled = False  # set by the MMU notifier mid-pin
+        # Set when the fair-admission queue timed out waiting for pin budget:
+        # the driver skips its retry ladder and degrades straight to the
+        # copy-through fallback.  Cleared on the next pin attempt.
+        self.pin_denied = False
+        # Pages of the fair-admission budget consumed on behalf of this
+        # region (queue mode only); handed back to the owner's share-cap
+        # footprint via PinService.owner_release when the frames drop.
+        self.budget_pages = 0
         self.active_comms = 0
         self.invalidate_pending = False
         self.pin_epoch = 0

@@ -1,0 +1,238 @@
+"""fork(2) COW semantics and their interaction with pinning + notifiers.
+
+The seam under test is the COW-vs-GUP lesson baked into
+:meth:`AddressSpace.fork`: a COW-shared page can never be pinned, pinned
+pages are eagerly copied into the child, idle pinned regions are torn down
+by the conservative pre-copy invalidation, and notifier ordering follows
+Linux (invalidate fires *before* translations change, and the FOLL_WRITE
+copy-on-pin break fires no notifier at all).
+"""
+
+import pytest
+
+from repro.hw import PAGE_SIZE, PhysicalMemory
+from repro.hw.memory import OutOfMemory
+from repro.kernel import AddressSpace
+
+
+@pytest.fixture
+def aspace():
+    return AddressSpace(PhysicalMemory(256 * PAGE_SIZE), "parent")
+
+
+class SpyNotifier:
+    """Records invalidations; optionally runs a hook inside the callback
+    (to observe world state at invalidate time, like a driver would)."""
+
+    def __init__(self, hook=None):
+        self.invalidations = []
+        self.released = False
+        self.hook = hook
+
+    def invalidate_range(self, start, end):
+        self.invalidations.append((start, end))
+        if self.hook is not None:
+            self.hook(start, end)
+
+    def release(self):
+        self.released = True
+
+
+# -- basic fork sharing ------------------------------------------------------
+
+def test_fork_shares_unpinned_pages_cow(aspace):
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(va, b"hello")
+    parent_frame = aspace.page(va)
+    child = aspace.fork("child")
+    assert child.page(va) is parent_frame
+    assert parent_frame.map_count == 2
+    assert child.read(va, 5) == b"hello"
+
+
+def test_parent_write_breaks_share_and_notifies(aspace):
+    va = aspace.mmap(PAGE_SIZE)
+    aspace.write(va, b"old")
+    child = aspace.fork("child")
+    shared = aspace.page(va)
+    spy = SpyNotifier()
+    aspace.notifiers.register(spy)
+    aspace.write(va, b"new")
+    # wp_page_copy ordering: the write-fault COW break notifies.
+    assert spy.invalidations == [(va, va + PAGE_SIZE)]
+    assert aspace.page(va) is not shared
+    assert child.page(va) is shared  # child keeps the original frame
+    assert child.read(va, 3) == b"old"
+    assert aspace.read(va, 3) == b"new"
+    assert shared.map_count == 1
+
+
+def test_child_write_breaks_share_without_parent_notifier(aspace):
+    va = aspace.mmap(PAGE_SIZE)
+    aspace.write(va, b"old")
+    spy = SpyNotifier()
+    aspace.notifiers.register(spy)
+    child = aspace.fork("child")
+    fork_invalidations = len(spy.invalidations)
+    shared = aspace.page(va)
+    child.write(va, b"new")
+    # The break happens in the child's mm; the parent's chain must not fire
+    # and the parent's frame must not move (its translations stay valid).
+    assert len(spy.invalidations) == fork_invalidations
+    assert aspace.page(va) is shared
+    assert child.page(va) is not shared
+    assert aspace.read(va, 3) == b"old"
+
+
+def test_child_notifier_chain_starts_empty(aspace):
+    spy = SpyNotifier()
+    aspace.notifiers.register(spy)
+    aspace.mmap(PAGE_SIZE)
+    child = aspace.fork("child")
+    assert len(child.notifiers) == 0
+    assert len(aspace.notifiers) == 1
+
+
+# -- fork vs pinned pages ----------------------------------------------------
+
+def test_fork_eagerly_copies_pinned_pages(aspace):
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(va, b"dma")
+    aspace.write(va + PAGE_SIZE, b"idle")
+    pinned = aspace.pin_page(va)
+    child = aspace.fork("child")
+    # Pinned page: private copy in the child, parent DMA target unmoved.
+    assert aspace.page(va) is pinned
+    assert child.page(va) is not pinned
+    assert pinned.map_count == 1
+    assert child.read(va, 3) == b"dma"
+    # Unpinned neighbour: plain COW share.
+    assert child.page(va + PAGE_SIZE) is aspace.page(va + PAGE_SIZE)
+    aspace.unpin_frame(pinned)
+
+
+def test_fork_invalidates_before_copy_so_unpinned_pages_share(aspace):
+    """The conservative pre-copy invalidation may unpin idle regions; fork
+    must recompute which pages still need eager copies afterwards."""
+    va = aspace.mmap(PAGE_SIZE)
+    aspace.write(va, b"x")
+    frame = aspace.pin_page(va)
+
+    def unpin_on_invalidate(start, end):
+        if frame.pinned:
+            aspace.unpin_frame(frame)
+
+    aspace.notifiers.register(SpyNotifier(hook=unpin_on_invalidate))
+    child = aspace.fork("child")
+    # The invalidation dropped the pin, so the page was shared, not copied.
+    assert child.page(va) is frame
+    assert frame.map_count == 2
+
+
+def test_fork_oom_preflight_is_atomic():
+    memory = PhysicalMemory(8 * PAGE_SIZE)
+    aspace = AddressSpace(memory, "parent")
+    va = aspace.mmap(6 * PAGE_SIZE)
+    for i in range(6):
+        aspace.write(va + i * PAGE_SIZE, b"p")
+    frames = [aspace.pin_page(va + i * PAGE_SIZE) for i in range(6)]
+    free_before = memory.free_frames
+    assert len(frames) > free_before  # eager copies cannot fit
+    with pytest.raises(OutOfMemory):
+        aspace.fork("child")
+    # No half-built child: parent state and the frame pool are untouched.
+    assert memory.free_frames == free_before
+    assert all(f.pinned for f in frames)
+    assert aspace.forks == 0
+
+
+def test_pin_page_breaks_cow_without_notifier(aspace):
+    """get_user_pages with FOLL_WRITE: copy-on-pin, silent by design — a
+    shared frame is unpinned by construction, so no translation cache can
+    hold it and there is nothing to invalidate."""
+    va = aspace.mmap(PAGE_SIZE)
+    aspace.write(va, b"abc")
+    child = aspace.fork("child")
+    shared = aspace.page(va)
+    spy = SpyNotifier()
+    aspace.notifiers.register(spy)
+    pinned = aspace.pin_page(va)
+    assert spy.invalidations == []  # no notify on the FOLL_WRITE break
+    assert pinned is not shared
+    assert pinned.pinned
+    assert child.page(va) is shared
+    assert aspace.read(va, 3) == b"abc"
+    aspace.unpin_frame(pinned)
+
+
+def test_swap_out_skips_cow_shared_frames(aspace):
+    va = aspace.mmap(PAGE_SIZE)
+    aspace.write(va, b"keep")
+    aspace.fork("child")
+    assert aspace.swap_out(va, PAGE_SIZE) == 0  # sibling still maps it
+    assert aspace.read(va, 4) == b"keep"
+
+
+# -- cow_duplicate / migrate vs pinning + notifier ordering ------------------
+
+def test_cow_duplicate_skips_pinned_and_notifies_first(aspace):
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(va, b"pinned")
+    aspace.write(va + PAGE_SIZE, b"loose")
+    pinned = aspace.pin_page(va)
+    loose = aspace.page(va + PAGE_SIZE)
+    seen_at_invalidate = {}
+
+    def capture(start, end):
+        # Linux fires notifiers *before* replacing PTEs: at callback time
+        # the old translations must still be installed.
+        seen_at_invalidate["pinned"] = aspace.page(va)
+        seen_at_invalidate["loose"] = aspace.page(va + PAGE_SIZE)
+
+    aspace.notifiers.register(SpyNotifier(hook=capture))
+    moved = aspace.cow_duplicate(va, 2 * PAGE_SIZE)
+    assert moved == 1  # only the unpinned page
+    assert seen_at_invalidate == {"pinned": pinned, "loose": loose}
+    assert aspace.page(va) is pinned  # DMA target never moves
+    assert aspace.page(va + PAGE_SIZE) is not loose
+    assert aspace.read(va + PAGE_SIZE, 5) == b"loose"  # bytes preserved
+    aspace.unpin_frame(pinned)
+
+
+def test_migrate_is_cow_from_the_pinners_point_of_view(aspace):
+    """NUMA migration/compaction must behave exactly like a COW break for
+    the pinning machinery: pinned pages hold still, everything else moves
+    behind a notifier."""
+    va = aspace.mmap(3 * PAGE_SIZE)
+    for i, blob in enumerate((b"one", b"two", b"three")):
+        aspace.write(va + i * PAGE_SIZE, blob)
+    pinned = aspace.pin_page(va + PAGE_SIZE)
+    spy = SpyNotifier()
+    aspace.notifiers.register(spy)
+    moved = aspace.migrate(va, 3 * PAGE_SIZE)
+    assert moved == 2
+    assert spy.invalidations == [(va, va + 3 * PAGE_SIZE)]
+    assert aspace.page(va + PAGE_SIZE) is pinned
+    assert aspace.read(va, 3) == b"one"
+    assert aspace.read(va + 2 * PAGE_SIZE, 5) == b"three"
+    aspace.unpin_frame(pinned)
+
+
+def test_fork_then_cow_duplicate_pinned_child_interplay(aspace):
+    """Eagerly-copied pinned pages stay put through a post-fork COW storm
+    while the shared pages churn."""
+    va = aspace.mmap(2 * PAGE_SIZE)
+    aspace.write(va, b"dma")
+    aspace.write(va + PAGE_SIZE, b"shared")
+    pinned = aspace.pin_page(va)
+    child = aspace.fork("child")
+    child_dma = child.page(va)
+    # Parent-side churn: pinned page skipped, shared page kept (map_count>1
+    # means cow_duplicate *does* move it — it becomes private to the parent).
+    aspace.cow_duplicate(va, 2 * PAGE_SIZE)
+    assert aspace.page(va) is pinned
+    assert child.page(va) is child_dma
+    assert child.read(va, 3) == b"dma"
+    assert child.read(va + PAGE_SIZE, 6) == b"shared"
+    assert aspace.read(va + PAGE_SIZE, 6) == b"shared"
+    aspace.unpin_frame(pinned)

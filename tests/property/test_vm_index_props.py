@@ -227,11 +227,14 @@ def test_interval_index_matches_linear_scan(ops):
     next_key = 1
     for op, *args in ops:
         if op == "add":
-            ranges = [(min(a, b), max(a, b)) for a, b in args[0]]
+            # Empty ranges are unrepresentable in production (Segment
+            # requires length > 0), and the two indexes legitimately
+            # disagree on them: the seed's ``s < end and start < e`` test
+            # never matches an empty range, the interval tree may.
+            ranges = [(min(a, b), max(a, b)) for a, b in args[0] if a != b]
+            if not ranges:
+                continue
             fast.add(next_key, ranges)
-            # The seed index stores ranges verbatim; empty ranges never
-            # match its ``s < end and start < e`` test, so behaviour is
-            # identical whether or not they are stored.
             slow.add(next_key, ranges)
             next_key += 1
         elif op == "remove":

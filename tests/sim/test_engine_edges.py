@@ -221,3 +221,38 @@ def test_anyof_loser_can_be_cancelled_after_detach():
     env.run()
     assert env.now == 1000  # dead entry still pops: clock is unchanged
     assert env.timeouts_recycled == 1
+
+
+def test_purge_cancelled_removes_dead_heap_entries():
+    """purge_cancelled() is the opt-in complement to pop-time recycling:
+    it drops cancelled, waiter-less timers from the heap so a bare run()
+    does not stretch the clock out to their expiry."""
+    env = Environment()
+    fast = env.timeout(1)
+    slow = env.timeout(1000)
+    env.run(until=env.any_of([fast, slow]))
+    assert slow.cancel() is True
+    assert env.purge_cancelled() == 1
+    env.run()
+    assert env.now == 1  # the dead watchdog no longer drags the clock
+
+
+def test_purge_cancelled_keeps_live_and_waited_on_entries():
+    env = Environment()
+    live = env.timeout(500)
+    dead = env.timeout(1000)
+
+    def waiter():
+        yield live
+
+    env.process(waiter())
+    dead.cancel()
+    assert env.purge_cancelled() == 1
+    assert env.purge_cancelled() == 0  # idempotent
+    env.run()
+    assert env.now == 500  # the awaited timer survived the purge
+
+
+def test_purge_cancelled_on_empty_queue():
+    env = Environment()
+    assert env.purge_cancelled() == 0
