@@ -38,6 +38,27 @@ def test_timer_churn_engages_free_list():
     assert report["timeouts_reused"] > 0
 
 
+def test_per_scenario_counters_are_scenario_local():
+    # Counters in a scenario's report must come from *its own* timed run.
+    # condition_fanout cancels its loser timers, so it must report its own
+    # recycling — and wheel_storm must show wheel mechanics (cascades from
+    # mid-level timers, promotions off the overflow heap) that the pure
+    # short-delay scenarios never trigger.
+    fanout = run_scenario("condition_fanout", quick=True, repeat=1)
+    assert fanout["timeouts_recycled"] > 0
+    assert fanout["timeouts_reused"] > 0
+
+    storm = run_scenario("wheel_storm", quick=True, repeat=1)
+    assert storm["timeouts_recycled"] > 0
+    assert storm["wheel_ticks"] > 0
+    assert storm["wheel_cascades"] > 0
+    assert storm["wheel_promotions"] > 0
+
+    pingpong = run_scenario("event_pingpong", quick=True, repeat=1)
+    assert pingpong["wheel_ticks"] == 0  # pure ready-FIFO traffic
+    assert pingpong["timeouts_recycled"] == 0
+
+
 def test_ab_reference_agrees_on_event_counts(run_once):
     # run_ab raises SystemExit if the seed engine and the current engine
     # disagree on any scenario's event count — the determinism guardrail.

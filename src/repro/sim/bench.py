@@ -12,7 +12,13 @@ drive it:
 * ``event_pingpong`` — two processes alternating via bare events; the
   succeed/dispatch fast path with a single callback per event.
 * ``condition_fanout`` — ``any_of`` over several timers each round; the
-  condition attach/detach path with dead losers drained at the end.
+  condition attach/detach path, with losing timers cancelled into the
+  free-list (dead entries still pop, so event counts are unchanged).
+* ``wheel_storm`` — timers spread across every timer-wheel level plus the
+  overflow heap (short acks, microsecond retransmits, millisecond
+  watchdogs, far-future blackout timers that always cancel), with
+  zero-delay timeouts mixed in; the scenario the wheel rewrite targets,
+  and the one that exercises cascades/promotions hardest.
 * ``datapath_pull`` — a full NIC→fabric→softirq receive storm (two senders
   bursting 4 KiB frames at one receiver whose bottom half is the
   bottleneck); the workload the data-path event-coalescing change targets.
@@ -124,13 +130,62 @@ def _event_pingpong(env: Environment, rounds: int) -> None:
 
 
 def _condition_fanout(env: Environment, rounds: int, width: int = 8) -> None:
-    """any_of over ``width`` timers; one wins, the rest pop dead."""
+    """any_of over ``width`` timers; one wins, the losers are cancelled.
+
+    Cancelling the detached losers (getattr-guarded: the frozen seed
+    engine's Timeout has no ``cancel``) routes them through the free-list
+    without changing simulated behavior — dead entries still pop at their
+    original expiry, so the event count stays identical on both engines.
+    """
 
     def worker():
         for _ in range(rounds):
-            yield env.any_of([env.timeout(j + 1) for j in range(width)])
+            timers = [env.timeout(j + 1) for j in range(width)]
+            yield env.any_of(timers)
+            for t in timers:
+                cancel = getattr(t, "cancel", None)
+                if cancel is not None:
+                    cancel()
 
     env.process(worker())
+
+
+def _wheel_storm(env: Environment, rounds: int, procs: int = 8) -> None:
+    """Timers on every wheel level at once — the wheel-stress workload.
+
+    Each round every process races a fast ack against four timers whose
+    expiries land in different wheel levels: a short poll (level 0), a
+    microsecond retransmit (level 1), a millisecond watchdog (level 2) and
+    a far-future blackout timer (overflow heap).  The ack wins, the losers
+    are cancelled (getattr-guarded for the seed engine) and pop dead at
+    their original expiries — so the tail of the run is dominated by the
+    wheel advancing across sparse, multi-level expiries, exercising
+    cascades, overflow promotions and bitmap tick-finding.  Every seventh
+    round adds a zero-delay timeout (the ready-FIFO path).
+    """
+
+    def worker(k: int):
+        for i in range(rounds):
+            ack = env.event()
+            env.timeout(3 + k).callbacks.append(
+                lambda _ev, ack=ack: ack.succeed()
+            )
+            racers = (
+                env.timeout(40 + 7 * k),                   # level 0
+                env.timeout(2_000 + 130 * k),              # level 1
+                env.timeout(300_000 + 1_000 * k),          # level 2
+                env.timeout(50_000_000 + 100_000 * k),     # overflow heap
+            )
+            yield env.any_of([ack, *racers])
+            for t in racers:
+                cancel = getattr(t, "cancel", None)
+                if cancel is not None:
+                    cancel()
+            if i % 7 == 0:
+                yield env.timeout(0)
+
+    for k in range(procs):
+        env.process(worker(k))
 
 
 # Data-path scenario constants: 4 KiB frames arrive from two senders every
@@ -403,6 +458,7 @@ SCENARIOS: dict[str, tuple[Callable[..., None], int, int]] = {
     "timeout_ladder": (_timeout_ladder, 3_000, 300),
     "event_pingpong": (_event_pingpong, 120_000, 12_000),
     "condition_fanout": (_condition_fanout, 30_000, 3_000),
+    "wheel_storm": (_wheel_storm, 1_500, 150),
     "datapath_pull": (_datapath_pull, 150, 15),
     "vm_churn": (_vm_churn, 150, 8),
 }
@@ -411,19 +467,32 @@ SCENARIOS: dict[str, tuple[Callable[..., None], int, int]] = {
 # -- harness ------------------------------------------------------------------
 
 
-def _time_once(env_cls: type, name: str, rounds: int) -> tuple[float, int, int, int]:
-    """One timed round: returns (wall_s, events, recycled, reused)."""
+# Engine counters sampled per scenario.  They are read off the
+# Environment *instance* that ran the timed round — each round builds a
+# fresh env, so the counts are per-scenario by construction (an earlier
+# revision threaded two of them positionally through the harness and
+# reported zeros for every scenario that wasn't timer_churn).  getattr
+# defaults keep the harness compatible with the frozen seed engine, which
+# has neither the free-list nor the wheel.
+_ENGINE_COUNTERS = ("timeouts_recycled", "timeouts_reused",
+                    "wheel_ticks", "wheel_cascades", "wheel_promotions")
+
+
+def _engine_counters(env: Any) -> dict[str, int]:
+    """Snapshot the engine's own counters after a timed round."""
+    return {name: getattr(env, name, 0) for name in _ENGINE_COUNTERS}
+
+
+def _time_once(env_cls: type, name: str,
+               rounds: int) -> tuple[float, int, dict[str, int]]:
+    """One timed round: returns (wall_s, events, engine counters)."""
     builder = SCENARIOS[name][0]
     env = env_cls()
     builder(env, rounds)
     start = time.perf_counter()
     env.run()
     wall = time.perf_counter() - start
-    # getattr so the bench also runs against engines without the
-    # free-list (the frozen seed reference used by --ab).
-    return (wall, env.events_processed,
-            getattr(env, "timeouts_recycled", 0),
-            getattr(env, "timeouts_reused", 0))
+    return wall, env.events_processed, _engine_counters(env)
 
 
 def run_scenario(name: str, quick: bool = False, repeat: int = 3,
@@ -431,17 +500,17 @@ def run_scenario(name: str, quick: bool = False, repeat: int = 3,
     """Run one scenario ``repeat`` times; report the best wall time."""
     rounds = SCENARIOS[name][2 if quick else 1]
     best_wall = float("inf")
-    events = recycled = reused = 0
+    events = 0
+    counters: dict[str, int] = {}
     for _ in range(repeat):
-        wall, events, recycled, reused = _time_once(env_cls, name, rounds)
+        wall, events, counters = _time_once(env_cls, name, rounds)
         best_wall = min(best_wall, wall)
     return {
         "rounds": rounds,
         "events": events,
         "wall_s": round(best_wall, 6),
         "events_per_sec": round(events / best_wall) if best_wall else 0,
-        "timeouts_recycled": recycled,
-        "timeouts_reused": reused,
+        **counters,
     }
 
 
@@ -499,9 +568,9 @@ def run_ab(ref_path: str, quick: bool = False, repeat: int = 5,
         for name in names:
             rounds = SCENARIOS[name][2 if quick else 1]
             b = best[name]
-            wall, b["ref_events"], _, _ = _time_once(ref_cls, name, rounds)
+            wall, b["ref_events"], _ = _time_once(ref_cls, name, rounds)
             b["ref_wall"] = min(b["ref_wall"], wall)
-            wall, b["cur_events"], b["recycled"], b["reused"] = _time_once(
+            wall, b["cur_events"], b["counters"] = _time_once(
                 Environment, name, rounds)
             b["cur_wall"] = min(b["cur_wall"], wall)
             b["rounds"] = rounds
@@ -525,8 +594,7 @@ def run_ab(ref_path: str, quick: bool = False, repeat: int = 5,
             "baseline_wall_s": round(b["ref_wall"], 6),
             "baseline_events_per_sec": ref_eps,
             "speedup": round(cur_eps / ref_eps, 3),
-            "timeouts_recycled": b["recycled"],
-            "timeouts_reused": b["reused"],
+            **b["counters"],
         }
         tot_ref_w += b["ref_wall"]
         tot_cur_w += b["cur_wall"]
@@ -778,15 +846,18 @@ def annotate_speedup(report: dict[str, Any], baseline: dict[str, Any]) -> None:
 
 def format_report(report: dict[str, Any]) -> str:
     lines = [f"{'scenario':18s} {'events':>10s} {'wall s':>9s} "
-             f"{'events/sec':>12s} {'recycled':>9s} {'speedup':>8s}"]
+             f"{'events/sec':>12s} {'recycled':>9s} {'ticks':>9s} "
+             f"{'speedup':>8s}"]
     rows = list(report["scenarios"].items()) + [
-        ("TOTAL", {**report["total"], "timeouts_recycled": ""})
+        ("TOTAL", {**report["total"],
+                   "timeouts_recycled": "", "wheel_ticks": ""})
     ]
     for name, r in rows:
         speedup = r.get("speedup")
         lines.append(
             f"{name:18s} {r['events']:>10,} {r['wall_s']:>9.4f} "
             f"{r['events_per_sec']:>12,} {str(r.get('timeouts_recycled', '')):>9s} "
+            f"{str(r.get('wheel_ticks', '')):>9s} "
             f"{f'{speedup:.2f}x' if speedup else '-':>8s}"
         )
     return "\n".join(lines)

@@ -13,35 +13,66 @@ The engine is a small, deterministic SimPy-like kernel:
 * ties in the event queue are broken by insertion order, which makes every
   simulation run bit-for-bit reproducible.
 
-Fast-path notes
----------------
+Timer-wheel event core
+----------------------
 The engine is the hottest code in the repository — every simulated byte is
-paid for in scheduled events — so the dispatch loop takes the same
-discipline the paper demands of the pinning path: make the common case
-nearly free.
+paid for in scheduled events — so the scheduler takes the same discipline
+the paper demands of the pinning path: make the common case nearly free.
+Earlier revisions kept a single global ``heapq``; profiling showed the
+remaining cost was per-event object churn (a heap tuple allocated and
+sifted for *every* succeed/resume/timeout).  The queue is now a hierarchy:
 
-* ``run()`` inlines the pop/dispatch loop (no per-event ``step()`` call,
-  ``heappop`` and the queue hoisted to locals) and specializes the loop per
-  stop condition so the per-event checks stay minimal.
-* The overwhelmingly common case of a single waiter dispatches that
-  callback directly instead of iterating a list.
-* A condition (:class:`AllOf`/:class:`AnyOf`) detaches itself from its
-  remaining members the moment it triggers, so losers of an ``any_of`` race
-  pop as dead entries instead of churning ``_check`` callbacks.
-* Protocol timers that lose their race (a retransmit timer beaten by the
-  ack, a poll slice beaten by the doorbell) can additionally be *lazily
-  cancelled* with :meth:`Timeout.cancel`: the dead heap entry is skipped
-  when popped and the Timeout object is recycled through a free-list, so
-  the next ``env.timeout()`` costs a field reset instead of an allocation
-  (and the old heap tuple is never rebuilt for the cancelled entry).
-  Cancellation never changes simulated results: the entry still pops at
-  its original expiry, advancing the clock and the processed count exactly
-  as an un-cancelled, unwatched timer would have.
+* ``_ready`` — a FIFO of events due exactly at ``now``.  ``succeed()``,
+  ``fail()``, process termination, zero-delay timeouts and interrupts are
+  one ``append`` — no tuple, no sequence number, no heap sift.  Since the
+  clock never advances while same-tick events remain, FIFO append order
+  *is* global (time, insertion) order for them.
+* three wheel levels of 256 slots each, holding pending timers bucketed by
+  absolute expiry bits: level 0 keys on ``when & 255`` (entries in the
+  current 256 ns window), level 1 on ``(when >> 8) & 255`` (current 65 µs
+  window), level 2 on ``(when >> 16) & 255`` (current ~16.7 ms window).
+  The level is picked by ``when ^ now`` (prefix-window rule): an entry
+  lives at the highest-resolution level whose window it shares with the
+  clock.  Inserting and lazily cancelling the short retransmit/poll timers
+  that dominate protocol runs is O(1) list work.
+* a per-level occupancy bitmap (one Python int per level) so advancing to
+  the next pending expiry is a couple of bit tricks, never a scan over
+  empty slots — the clock can leap across millisecond gaps in O(1).
+* an overflow min-heap for far-future events (``when ^ now >= 2**24``);
+  entries are promoted into the wheel when the clock's 2^24 window reaches
+  them.  Watchdogs and blackout timers land here; everything hot stays in
+  the wheel.
+
+Ordering is provably bit-identical to the old global heap:
+
+* all level-0 entries share the clock's ``>> 8`` window (an entry for a
+  *later* window cannot be inserted at level 0 until the clock enters that
+  window, at which point the old window's entries have fired), so one
+  level-0 slot holds exactly one expiry and firing it batch-dispatches a
+  whole tick;
+* a slot's list is kept in insertion (sequence) order: direct inserts
+  append in allocation order, and a cascade from a higher level only ever
+  lands in an *empty* lower level (cascades run when every lower level has
+  drained; the deadline-jump case is re-synchronised by ``_resync``), so
+  cascaded entries — which are always older than any later direct insert —
+  are never interleaved out of order;
+* cancellation never changes simulated results: a cancelled timer's entry
+  still pops at its original expiry, advancing the clock and the processed
+  count exactly as an un-cancelled, unwatched timer would have, and the
+  Timeout object is recycled through a free-list so the next
+  ``env.timeout()`` costs a field reset instead of an allocation.
+
+``run()`` keeps the dispatch body inlined per stop condition, and
+``Environment(debug=True)`` swaps in a checked loop that verifies waiter
+accounting (``_waiters`` vs attached waiter callbacks) and wheel-slot
+ordering on every dispatch — the torture/chaos harnesses use it to catch
+detach-accounting bugs under batch-fire.
 """
 
 from __future__ import annotations
 
 import time as _time
+from collections import deque
 from collections.abc import Callable, Generator, Iterable
 from heapq import heapify, heappop, heappush
 from typing import Any
@@ -60,6 +91,17 @@ __all__ = [
 # Bound on the Timeout free-list so a cancellation storm cannot hold an
 # unbounded number of dead objects alive.
 _TIMEOUT_POOL_CAP = 4096
+
+# Wheel geometry: three levels of 2**_WHEEL_BITS slots.  Level k buckets
+# expiries by bits [8k, 8k+8); beyond level 2 (when ^ now >= 2**24, i.e.
+# ~16.7 simulated milliseconds from the clock's current window) entries
+# overflow into a min-heap.
+_WHEEL_BITS = 8
+_WHEEL_SLOTS = 1 << _WHEEL_BITS          # 256
+_WHEEL_MASK = _WHEEL_SLOTS - 1           # 0xff
+_L0_SPAN = 1 << _WHEEL_BITS              # 2**8
+_L1_SPAN = 1 << (2 * _WHEEL_BITS)        # 2**16
+_L2_SPAN = 1 << (3 * _WHEEL_BITS)        # 2**24
 
 
 class SimulationError(Exception):
@@ -91,7 +133,7 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled",
-                 "_waiters", "_defused", "_cancelled")
+                 "_waiters", "_defused", "_cancelled", "_when", "_eid")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -102,6 +144,8 @@ class Event:
         self._waiters = 0
         self._defused = False
         self._cancelled = False
+        # _when/_eid are only assigned when the event enters the timer
+        # wheel (future expiry); ready-queue events never need them.
 
     # -- state ------------------------------------------------------------
     @property
@@ -133,12 +177,10 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        # An untriggered event is never in the heap: push directly instead
-        # of going through _schedule()'s guard (hot path).
+        # Triggering schedules at the current tick: a bare append to the
+        # ready FIFO is the whole cost (hot path — no heap, no sequence).
         self._scheduled = True
-        env = self.env
-        env._eid += 1
-        heappush(env._queue, (env._now, env._eid, self))
+        self.env._ready.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -149,9 +191,7 @@ class Event:
         self._ok = False
         self._value = exception
         self._scheduled = True
-        env = self.env
-        env._eid += 1
-        heappush(env._queue, (env._now, env._eid, self))
+        self.env._ready.append(self)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -175,8 +215,8 @@ class Timeout(Event):
 
     def __init__(self, env: "Environment", delay: int, value: Any = None):
         # Timers are the most-allocated object in the simulator; the whole
-        # Event+schedule setup is inlined here (no super().__init__, no
-        # _schedule call) to keep creation one flat function.
+        # Event+schedule setup is inlined here (no super().__init__) to
+        # keep creation one flat function.
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self.env = env
@@ -188,13 +228,15 @@ class Timeout(Event):
         self._defused = False
         self._cancelled = False
         self.delay = delay
-        env._eid += 1
-        heappush(env._queue, (env._now + delay, env._eid, self))
+        if delay:
+            env._insert(self, env._now + delay)
+        else:
+            env._ready.append(self)
 
     def cancel(self) -> bool:
         """Lazily cancel a timer that nobody waits on any more.
 
-        Returns ``True`` if the timer was defused: its heap entry will be
+        Returns ``True`` if the timer was defused: its wheel entry will be
         skipped (no callbacks, no allocation) when its expiry pops, and the
         object is recycled into the environment's free-list for the next
         ``env.timeout()`` call.  Returns ``False`` if the timer has already
@@ -231,8 +273,7 @@ class Initialize(Event):
         self._waiters = 0
         self._defused = False
         self._cancelled = False
-        env._eid += 1
-        heappush(env._queue, (env._now, env._eid, self))
+        env._ready.append(self)
 
 
 class Process(Event):
@@ -261,6 +302,7 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         init = Initialize(env)
         init.callbacks.append(self._resume)
+        init._waiters = 1  # uniform accounting: every _resume counts
         self._target: Event | None = init
 
     @property
@@ -290,6 +332,7 @@ class Process(Event):
             else:
                 target._waiters -= 1
         interrupt_ev.callbacks = [self._resume]
+        interrupt_ev._waiters = 1
         env._schedule(interrupt_ev)
 
     def _resume(self, event: Event) -> None:
@@ -308,15 +351,13 @@ class Process(Event):
                 self._ok = True
                 self._value = stop.value
                 self._scheduled = True
-                env._eid += 1
-                heappush(env._queue, (env._now, env._eid, self))
+                env._ready.append(self)
                 return
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
                 self._scheduled = True
-                env._eid += 1
-                heappush(env._queue, (env._now, env._eid, self))
+                env._ready.append(self)
                 return
 
             if not isinstance(next_target, Event):
@@ -449,13 +490,39 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """Holds the clock and the event queue; executes the simulation."""
+    """Holds the clock and the timer-wheel event core; executes the simulation.
 
-    def __init__(self, initial_time: int = 0):
+    ``debug=True`` swaps the inlined dispatch loops for a checked loop that
+    verifies waiter accounting and wheel-slot ordering on every event —
+    slower, but it turns silent detach-accounting corruption into a
+    :class:`SimulationError` at the exact dispatch that violates it.
+    """
+
+    __slots__ = ("_now", "_ready", "_l0", "_l1", "_l2",
+                 "_occ0", "_occ1", "_occ2", "_overflow", "_eid", "_active",
+                 "_debug", "_timeout_pool", "events_processed", "wall_time_s",
+                 "timeouts_recycled", "timeouts_reused", "wheel_ticks",
+                 "wheel_cascades", "wheel_promotions", "metrics")
+
+    def __init__(self, initial_time: int = 0, debug: bool = False):
         self._now = int(initial_time)
-        self._queue: list[tuple[int, int, Event]] = []
+        # Events due exactly at the current tick, in dispatch order.
+        self._ready: deque[Event] = deque()
+        # Timer-wheel levels: 256 slots each, plus an occupancy bitmap per
+        # level (bit s set <=> slot s non-empty) so finding the next
+        # pending expiry never scans empty slots.
+        self._l0: list[list[Event]] = [[] for _ in range(_WHEEL_SLOTS)]
+        self._l1: list[list[Event]] = [[] for _ in range(_WHEEL_SLOTS)]
+        self._l2: list[list[Event]] = [[] for _ in range(_WHEEL_SLOTS)]
+        self._occ0 = 0
+        self._occ1 = 0
+        self._occ2 = 0
+        # Far-future events (when ^ now >= 2**24): classic (when, seq, ev)
+        # min-heap, promoted into the wheel when their window arrives.
+        self._overflow: list[tuple[int, int, Event]] = []
         self._eid = 0
         self._active = False
+        self._debug = bool(debug)
         # Free-list of cancelled Timeout objects collected at pop time;
         # timeout() reincarnates them instead of allocating.
         self._timeout_pool: list[Timeout] = []
@@ -467,6 +534,9 @@ class Environment:
         self.wall_time_s = 0.0
         self.timeouts_recycled = 0
         self.timeouts_reused = 0
+        self.wheel_ticks = 0
+        self.wheel_cascades = 0
+        self.wheel_promotions = 0
         self.metrics = None
 
     @property
@@ -493,7 +563,8 @@ class Environment:
         return e
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        delay = int(delay)
+        if delay.__class__ is not int:
+            delay = int(delay)
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         pool = self._timeout_pool
@@ -518,8 +589,31 @@ class Environment:
             t._waiters = 0
             t._defused = False
             t._cancelled = False
-        self._eid += 1
-        heappush(self._queue, (self._now + delay, self._eid, t))
+        if delay == 0:
+            self._ready.append(t)
+            return t
+        # Inlined _insert (hot path): pick the wheel level whose window the
+        # expiry shares with the clock, or overflow to the far heap.
+        now = self._now
+        when = now + delay
+        self._eid = eid = self._eid + 1
+        t._eid = eid
+        t._when = when
+        x = when ^ now
+        if x < _L0_SPAN:
+            s = when & _WHEEL_MASK
+            self._l0[s].append(t)
+            self._occ0 |= 1 << s
+        elif x < _L1_SPAN:
+            s = (when >> _WHEEL_BITS) & _WHEEL_MASK
+            self._l1[s].append(t)
+            self._occ1 |= 1 << s
+        elif x < _L2_SPAN:
+            s = (when >> (2 * _WHEEL_BITS)) & _WHEEL_MASK
+            self._l2[s].append(t)
+            self._occ2 |= 1 << s
+        else:
+            heappush(self._overflow, (when, eid, t))
         return t
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
@@ -532,37 +626,304 @@ class Environment:
         return AnyOf(self, events)
 
     # -- scheduling -----------------------------------------------------------
+    def _insert(self, event: Event, when: int) -> None:
+        """File ``event`` (expiring at future time ``when``) into the wheel.
+
+        Level choice is the prefix-window rule: an entry lives at the
+        highest-resolution level whose window it shares with the clock
+        (``when ^ now`` bounds the highest differing bit).  Keep in sync
+        with the inlined copy in :meth:`timeout`.
+        """
+        self._eid = eid = self._eid + 1
+        event._eid = eid
+        event._when = when
+        x = when ^ self._now
+        if x < _L0_SPAN:
+            s = when & _WHEEL_MASK
+            self._l0[s].append(event)
+            self._occ0 |= 1 << s
+        elif x < _L1_SPAN:
+            s = (when >> _WHEEL_BITS) & _WHEEL_MASK
+            self._l1[s].append(event)
+            self._occ1 |= 1 << s
+        elif x < _L2_SPAN:
+            s = (when >> (2 * _WHEEL_BITS)) & _WHEEL_MASK
+            self._l2[s].append(event)
+            self._occ2 |= 1 << s
+        else:
+            heappush(self._overflow, (when, eid, event))
+
     def _schedule(self, event: Event, delay: int = 0) -> None:
         if event._scheduled:
             return
         event._scheduled = True
-        self._eid += 1
-        heappush(self._queue, (self._now + delay, self._eid, event))
+        if delay:
+            self._insert(event, self._now + delay)
+        else:
+            self._ready.append(event)
 
+    # -- wheel mechanics ------------------------------------------------------
+    def _cascade(self) -> bool:
+        """Refill level 0 from the next occupied higher container.
+
+        Called only when the ready FIFO and level 0 are empty, which (by
+        the prefix-window invariant) means *every* pending entry lives in
+        level 1, level 2 or the overflow heap, strictly in that order of
+        expiry.  Moves the earliest occupied higher slot down one level
+        (possibly pulling a heap window into level 2 first) and reports
+        whether level 0 is now occupied.  Returns False when nothing is
+        pending anywhere.
+        """
+        occ1 = self._occ1
+        if not occ1:
+            occ2 = self._occ2
+            if not occ2:
+                heap = self._overflow
+                if not heap:
+                    return False
+                # Promote the earliest far-future window into level 2.
+                shift = 3 * _WHEEL_BITS
+                prefix = heap[0][0] >> shift
+                l2 = self._l2
+                while heap and heap[0][0] >> shift == prefix:
+                    _, _, ev = heappop(heap)
+                    s = (ev._when >> (2 * _WHEEL_BITS)) & _WHEEL_MASK
+                    l2[s].append(ev)
+                    occ2 |= 1 << s
+                self.wheel_promotions += 1
+            # Cascade the earliest level-2 slot into (empty) level 1.
+            bit = occ2 & -occ2
+            self._occ2 = occ2 ^ bit
+            slot = self._l2[bit.bit_length() - 1]
+            l1 = self._l1
+            for ev in slot:
+                s = (ev._when >> _WHEEL_BITS) & _WHEEL_MASK
+                l1[s].append(ev)
+                occ1 |= 1 << s
+            slot.clear()
+            self.wheel_cascades += 1
+        # Cascade the earliest level-1 slot into (empty) level 0.
+        bit = occ1 & -occ1
+        self._occ1 = occ1 ^ bit
+        slot = self._l1[bit.bit_length() - 1]
+        l0 = self._l0
+        occ0 = 0
+        for ev in slot:
+            s = ev._when & _WHEEL_MASK
+            l0[s].append(ev)
+            occ0 |= 1 << s
+        slot.clear()
+        self._occ0 = occ0
+        self.wheel_cascades += 1
+        return True
+
+    def _advance_tick(self) -> bool:
+        """Move the clock to the next pending expiry and stage its events.
+
+        The whole tick (every entry with that expiry) lands on the ready
+        FIFO in one batch.  Returns False when nothing is pending.
+        """
+        occ = self._occ0
+        if not occ:
+            if not self._cascade():
+                return False
+            occ = self._occ0
+        bit = occ & -occ
+        self._occ0 = occ ^ bit
+        slot = self._l0[bit.bit_length() - 1]
+        if self._debug:
+            self._check_slot(slot)
+        self._now = slot[0]._when
+        self.wheel_ticks += 1
+        self._ready.extend(slot)
+        slot.clear()
+        return True
+
+    def _resync(self) -> None:
+        """Re-establish the level invariants after a clock jump.
+
+        ``run(until=<time>)`` can move the clock forward without firing an
+        event.  Entries whose window the clock just entered must migrate
+        down, otherwise a short timer inserted after the jump could land in
+        level 0 and fire before an older, earlier entry still parked in a
+        higher level.  At most one slot per boundary needs to move, and the
+        receiving level is provably empty (an occupied lower level would
+        have made the jump impossible without crossing its entries).
+        """
+        now = self._now
+        heap = self._overflow
+        shift = 3 * _WHEEL_BITS
+        if heap and heap[0][0] >> shift == now >> shift:
+            assert not self._occ2, "overflow promotion into occupied level 2"
+            occ2 = 0
+            prefix = now >> shift
+            l2 = self._l2
+            while heap and heap[0][0] >> shift == prefix:
+                _, _, ev = heappop(heap)
+                s = (ev._when >> (2 * _WHEEL_BITS)) & _WHEEL_MASK
+                l2[s].append(ev)
+                occ2 |= 1 << s
+            self._occ2 = occ2
+            self.wheel_promotions += 1
+        occ2 = self._occ2
+        if occ2:
+            bit = 1 << ((now >> (2 * _WHEEL_BITS)) & _WHEEL_MASK)
+            if occ2 & bit:
+                assert not self._occ1, "cascade into occupied level 1"
+                slot = self._l2[bit.bit_length() - 1]
+                l1 = self._l1
+                occ1 = 0
+                for ev in slot:
+                    s = (ev._when >> _WHEEL_BITS) & _WHEEL_MASK
+                    l1[s].append(ev)
+                    occ1 |= 1 << s
+                slot.clear()
+                self._occ2 = occ2 ^ bit
+                self._occ1 = occ1
+                self.wheel_cascades += 1
+        occ1 = self._occ1
+        if occ1:
+            bit = 1 << ((now >> _WHEEL_BITS) & _WHEEL_MASK)
+            if occ1 & bit:
+                assert not self._occ0, "cascade into occupied level 0"
+                slot = self._l1[bit.bit_length() - 1]
+                l0 = self._l0
+                occ0 = 0
+                for ev in slot:
+                    s = ev._when & _WHEEL_MASK
+                    l0[s].append(ev)
+                    occ0 |= 1 << s
+                slot.clear()
+                self._occ1 = occ1 ^ bit
+                self._occ0 = occ0
+                self.wheel_cascades += 1
+
+    def _next_time(self) -> int | None:
+        """Earliest pending expiry without mutating any wheel state."""
+        occ = self._occ0
+        if occ:
+            bit = occ & -occ
+            # All level-0 entries in one slot share a single expiry.
+            return self._l0[bit.bit_length() - 1][0]._when
+        occ = self._occ1
+        if occ:
+            bit = occ & -occ
+            return min(ev._when for ev in self._l1[bit.bit_length() - 1])
+        occ = self._occ2
+        if occ:
+            bit = occ & -occ
+            return min(ev._when for ev in self._l2[bit.bit_length() - 1])
+        if self._overflow:
+            return self._overflow[0][0]
+        return None
+
+    def _pending_count(self) -> int:
+        """Number of scheduled entries across ready, wheel, and overflow."""
+        n = len(self._ready) + len(self._overflow)
+        for slots, occ in ((self._l0, self._occ0), (self._l1, self._occ1),
+                           (self._l2, self._occ2)):
+            m = occ
+            while m:
+                bit = m & -m
+                m ^= bit
+                n += len(slots[bit.bit_length() - 1])
+        return n
+
+    # -- debug invariants -----------------------------------------------------
+    def _check_slot(self, slot: list[Event]) -> None:
+        """Debug: a firing level-0 slot is one expiry, in insertion order."""
+        prev = -1
+        when = slot[0]._when
+        for ev in slot:
+            if ev._when != when:
+                raise SimulationError(
+                    f"wheel corruption: level-0 slot mixes expiries "
+                    f"{when} and {ev._when}")
+            if ev._eid <= prev:
+                raise SimulationError(
+                    f"wheel corruption: slot out of insertion order "
+                    f"(eid {ev._eid} after {prev})")
+            prev = ev._eid
+
+    @staticmethod
+    def _check_waiters(event: Event,
+                       callbacks: list[Callable[[Event], None]]) -> None:
+        """Debug: ``_waiters`` matches the attached waiter callbacks.
+
+        Process resumes and condition checks each count themselves as one
+        waiter; raw callbacks do not.  Batch-fire dispatch (one shared
+        timer waking many waiters) and condition detach must keep the two
+        in lockstep — a mismatch means a detach path leaked or
+        double-counted a waiter.
+        """
+        tracked = 0
+        for cb in callbacks:
+            name = getattr(cb, "__name__", "")
+            if name == "_resume" or name == "_check":
+                tracked += 1
+        if event._waiters != tracked:
+            raise SimulationError(
+                f"waiter accounting corrupt on {event!r}: _waiters="
+                f"{event._waiters} but {tracked} waiter callbacks attached")
+
+    # -- public queue operations ----------------------------------------------
     def peek(self) -> int | None:
         """Time of the next scheduled event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        if self._ready:
+            return self._now
+        return self._next_time()
 
     def purge_cancelled(self) -> int:
-        """Drop cancelled, waiter-less timeouts from the event heap.
+        """Drop cancelled, waiter-less timeouts from the pending set.
 
-        A cancelled :class:`Timeout` normally stays in the heap and is
-        skipped when popped — which means a bare ``run()`` still advances
-        the clock to its expiry before the queue empties.  Harnesses that
-        use long watchdog timers and then *measure* drain time (e.g. the
-        torture suite's recovery-tail histogram) call this after cancelling
-        the watchdog so quiescence is reached at the time of the last real
-        event.  Opt-in only: ``run()``/``step()`` semantics are unchanged.
+        A cancelled :class:`Timeout` normally stays in its wheel bucket and
+        is skipped when popped — which means a bare ``run()`` still
+        advances the clock to its expiry before the queue empties.
+        Harnesses that use long watchdog timers and then *measure* drain
+        time (e.g. the torture suite's recovery-tail histogram) call this
+        after cancelling the watchdog so quiescence is reached at the time
+        of the last real event.  Opt-in only: ``run()``/``step()``
+        semantics are unchanged.
+
+        The sweep is per-bucket and bitmap-guided: only occupied wheel
+        slots are visited (plus the ready FIFO and the overflow heap), so
+        the cost scales with live buckets, not with wheel size.
 
         Returns the number of entries removed.
         """
-        queue = self._queue
-        keep = [entry for entry in queue
-                if not (entry[2]._cancelled and not entry[2].callbacks)]
-        removed = len(queue) - len(keep)
-        if removed:
-            heapify(keep)
-            self._queue = keep
+        removed = 0
+        ready = self._ready
+        if ready:
+            keep = [ev for ev in ready
+                    if not (ev._cancelled and not ev.callbacks)]
+            if len(keep) != len(ready):
+                removed += len(ready) - len(keep)
+                ready.clear()
+                ready.extend(keep)
+        for slots, occ_name in ((self._l0, "_occ0"), (self._l1, "_occ1"),
+                                (self._l2, "_occ2")):
+            occ = getattr(self, occ_name)
+            m = occ
+            while m:
+                bit = m & -m
+                m ^= bit
+                slot = slots[bit.bit_length() - 1]
+                keep = [ev for ev in slot
+                        if not (ev._cancelled and not ev.callbacks)]
+                if len(keep) != len(slot):
+                    removed += len(slot) - len(keep)
+                    slot[:] = keep
+                    if not keep:
+                        occ ^= bit
+            setattr(self, occ_name, occ)
+        heap = self._overflow
+        if heap:
+            keep = [entry for entry in heap
+                    if not (entry[2]._cancelled and not entry[2].callbacks)]
+            if len(keep) != len(heap):
+                removed += len(heap) - len(keep)
+                heapify(keep)
+                self._overflow = keep
         return removed
 
     def step(self) -> None:
@@ -571,13 +932,14 @@ class Environment:
         Mirrors one iteration of the inlined ``run()`` loop — keep the two
         dispatch bodies in sync.
         """
-        queue = self._queue
-        if not queue:
+        ready = self._ready
+        if not ready and not self._advance_tick():
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heappop(queue)
-        self._now = when
+        event = ready.popleft()
         self.events_processed += 1
         callbacks = event.callbacks
+        if self._debug and callbacks:
+            self._check_waiters(event, callbacks)
         event.callbacks = None
         if callbacks:
             if len(callbacks) == 1:
@@ -619,83 +981,146 @@ class Environment:
         wall_start = _time.perf_counter()
         events_start = self.events_processed
         now_start = self._now
+        ticks_start = self.wheel_ticks
+        cascades_start = self.wheel_cascades
+        promotions_start = self.wheel_promotions
         # Hot loop: everything it touches per event is a local; the
         # pop/dispatch body is inlined (three specialized copies, one per
         # stop condition) and flushed into the instance counters once, in
         # the finally block.  Keep the dispatch bodies in sync with step().
-        queue = self._queue
+        r = self._ready
+        rpop = r.popleft
+        rextend = r.extend
+        advance = self._advance_tick
+        l0 = self._l0
         pool = self._timeout_pool
         pool_cap = _TIMEOUT_POOL_CAP
         processed = 0
         recycled = 0
+        ticks = 0
         try:
-            if stop_event is not None:
-                while queue and stop_event.callbacks is not None:
-                    when, _, event = heappop(queue)
-                    self._now = when
-                    processed += 1
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    if callbacks:
-                        if len(callbacks) == 1:
-                            callbacks[0](event)
-                        else:
-                            for cb in callbacks:
-                                cb(event)
-                    elif event._cancelled:
-                        event.callbacks = callbacks
-                        recycled += 1
-                        if len(pool) < pool_cap:
-                            pool.append(event)
-                    elif not event._ok and not event._defused:
-                        raise event._value
+            if self._debug:
+                processed, recycled = self._run_checked(stop_event, deadline)
+            elif stop_event is not None:
+                while True:
+                    while r:
+                        if stop_event.callbacks is None:
+                            break
+                        event = rpop()
+                        processed += 1
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        if callbacks:
+                            if len(callbacks) == 1:
+                                callbacks[0](event)
+                            else:
+                                for cb in callbacks:
+                                    cb(event)
+                        elif event._cancelled:
+                            event.callbacks = callbacks
+                            recycled += 1
+                            if len(pool) < pool_cap:
+                                pool.append(event)
+                        elif not event._ok and not event._defused:
+                            raise event._value
+                    else:
+                        if stop_event.callbacks is None:
+                            break
+                        # Inline level-0 tick (the overwhelmingly common
+                        # case); cascades fall back to _advance_tick.
+                        occ = self._occ0
+                        if occ:
+                            bit = occ & -occ
+                            self._occ0 = occ ^ bit
+                            slot = l0[bit.bit_length() - 1]
+                            self._now = slot[0]._when
+                            ticks += 1
+                            rextend(slot)
+                            slot.clear()
+                        elif not advance():
+                            break
+                        continue
+                    break
             elif deadline is not None:
-                while queue:
-                    if queue[0][0] > deadline:
-                        self._now = deadline
-                        break
-                    when, _, event = heappop(queue)
-                    self._now = when
-                    processed += 1
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    if callbacks:
-                        if len(callbacks) == 1:
-                            callbacks[0](event)
-                        else:
-                            for cb in callbacks:
-                                cb(event)
-                    elif event._cancelled:
-                        event.callbacks = callbacks
-                        recycled += 1
-                        if len(pool) < pool_cap:
-                            pool.append(event)
-                    elif not event._ok and not event._defused:
-                        raise event._value
+                while True:
+                    while r:
+                        event = rpop()
+                        processed += 1
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        if callbacks:
+                            if len(callbacks) == 1:
+                                callbacks[0](event)
+                            else:
+                                for cb in callbacks:
+                                    cb(event)
+                        elif event._cancelled:
+                            event.callbacks = callbacks
+                            recycled += 1
+                            if len(pool) < pool_cap:
+                                pool.append(event)
+                        elif not event._ok and not event._defused:
+                            raise event._value
+                    # Inline level-0 tick with the deadline check folded in.
+                    occ = self._occ0
+                    if occ:
+                        bit = occ & -occ
+                        slot = l0[bit.bit_length() - 1]
+                        nxt = slot[0]._when
+                        if nxt > deadline:
+                            self._now = deadline
+                            self._resync()
+                            break
+                        self._occ0 = occ ^ bit
+                        self._now = nxt
+                        ticks += 1
+                        rextend(slot)
+                        slot.clear()
+                    else:
+                        nxt = self._next_time()
+                        if nxt is None:
+                            break
+                        if nxt > deadline:
+                            self._now = deadline
+                            self._resync()
+                            break
+                        advance()
             else:
-                while queue:
-                    when, _, event = heappop(queue)
-                    self._now = when
-                    processed += 1
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    if callbacks:
-                        if len(callbacks) == 1:
-                            callbacks[0](event)
-                        else:
-                            for cb in callbacks:
-                                cb(event)
-                    elif event._cancelled:
-                        event.callbacks = callbacks
-                        recycled += 1
-                        if len(pool) < pool_cap:
-                            pool.append(event)
-                    elif not event._ok and not event._defused:
-                        raise event._value
+                while True:
+                    while r:
+                        event = rpop()
+                        processed += 1
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        if callbacks:
+                            if len(callbacks) == 1:
+                                callbacks[0](event)
+                            else:
+                                for cb in callbacks:
+                                    cb(event)
+                        elif event._cancelled:
+                            event.callbacks = callbacks
+                            recycled += 1
+                            if len(pool) < pool_cap:
+                                pool.append(event)
+                        elif not event._ok and not event._defused:
+                            raise event._value
+                    occ = self._occ0
+                    if occ:
+                        bit = occ & -occ
+                        self._occ0 = occ ^ bit
+                        slot = l0[bit.bit_length() - 1]
+                        self._now = slot[0]._when
+                        ticks += 1
+                        rextend(slot)
+                        slot.clear()
+                    elif not advance():
+                        break
         finally:
             self._active = False
             self.events_processed += processed
             self.timeouts_recycled += recycled
+            self.wheel_ticks += ticks
             wall = _time.perf_counter() - wall_start
             self.wall_time_s += wall
             if self.metrics is not None:
@@ -711,6 +1136,18 @@ class Environment:
                     "sim_wall_time_us",
                     "host wall-clock microseconds spent inside run()")
                 c_wall.inc(int(wall * 1e6))
+                m.counter("sim_wheel_ticks",
+                          "distinct expiries batch-fired by the timer "
+                          "wheel").inc(self.wheel_ticks - ticks_start)
+                m.counter("sim_wheel_cascades",
+                          "wheel slots redistributed one level down").inc(
+                    self.wheel_cascades - cascades_start)
+                m.counter("sim_wheel_promotions",
+                          "overflow-heap windows promoted into the wheel"
+                          ).inc(self.wheel_promotions - promotions_start)
+                m.gauge("sim_wheel_pending",
+                        "entries pending across ready/wheel/overflow at "
+                        "run() exit").set(self._pending_count())
                 # Derived engine throughput so `python -m repro.obs` renders
                 # events/sec next to the protocol metrics.
                 wall_us = c_wall.value
@@ -727,6 +1164,52 @@ class Environment:
             if not stop_event._ok:
                 raise stop_event._value
             return stop_event._value
-        if deadline is not None and not self._queue:
+        if deadline is not None and not self._ready and self._next_time() is None:
             self._now = max(self._now, deadline)
         return None
+
+    def _run_checked(self, stop_event: Event | None,
+                     deadline: int | None) -> tuple[int, int]:
+        """Debug-mode dispatch loop: one generic body with invariant checks.
+
+        Semantically identical to the three specialized loops in
+        :meth:`run` (same stop conditions, same dispatch body), but every
+        event with callbacks is verified with :meth:`_check_waiters` and
+        every fired slot with :meth:`_check_slot` before dispatch.
+        """
+        r = self._ready
+        pool = self._timeout_pool
+        processed = 0
+        recycled = 0
+        while True:
+            if stop_event is not None and stop_event.callbacks is None:
+                break
+            if not r:
+                nxt = self._next_time()
+                if nxt is None:
+                    break
+                if deadline is not None and nxt > deadline:
+                    self._now = deadline
+                    self._resync()
+                    break
+                self._advance_tick()
+            event = r.popleft()
+            processed += 1
+            callbacks = event.callbacks
+            if callbacks:
+                self._check_waiters(event, callbacks)
+            event.callbacks = None
+            if callbacks:
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for cb in callbacks:
+                        cb(event)
+            elif event._cancelled:
+                event.callbacks = callbacks
+                recycled += 1
+                if len(pool) < _TIMEOUT_POOL_CAP:
+                    pool.append(event)
+            elif not event._ok and not event._defused:
+                raise event._value
+        return processed, recycled
