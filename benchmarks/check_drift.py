@@ -2,12 +2,16 @@
 """Flag shape drift between two ``--json`` result files.
 
 CI regenerates the quick experiment sweep and compares it against the
-committed baseline (``benchmarks/baseline_results.json``) with
-:func:`repro.experiments.runner.compare_results`.  Any numeric leaf that
-moved by more than the tolerance (default 2%) fails the job — the
-simulation is deterministic, so on identical code the diff must be empty
-and *any* drift means a change altered reproduced results without
+committed baseline (``benchmarks/baseline_results.json``).  Any numeric
+leaf that moved by more than the tolerance (default 2%) fails the job —
+the simulation is deterministic, so on identical code the diff must be
+empty and *any* drift means a change altered reproduced results without
 refreshing the baseline.
+
+The failure message names every breaching leaf with its baseline value,
+fresh value, absolute delta and relative drift, worst offender first, so
+the CI log says *what* moved and *by how much* without re-running
+anything locally.
 
 Usage::
 
@@ -18,9 +22,61 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
+from typing import Any
 
-from repro.experiments.runner import compare_results, load_results
+from repro.experiments.runner import _numeric_leaves, load_results
+
+
+def find_breaches(old: dict[str, Any], new: dict[str, Any],
+                  rel_tolerance: float = 0.02) -> list[dict[str, Any]]:
+    """Numeric leaves that drifted beyond ``rel_tolerance``, worst first.
+
+    Each breach is ``{"key", "baseline", "fresh", "delta", "rel"}``;
+    a leaf present on only one side has ``None`` for the missing value
+    and infinite relative drift (structure changes always sort first).
+    """
+    old_leaves = _numeric_leaves(old)
+    new_leaves = _numeric_leaves(new)
+    breaches: list[dict[str, Any]] = []
+    for key in sorted(set(old_leaves) | set(new_leaves)):
+        a = old_leaves.get(key)
+        b = new_leaves.get(key)
+        if a is None or b is None:
+            breaches.append({"key": key, "baseline": a, "fresh": b,
+                             "delta": None, "rel": math.inf})
+            continue
+        rel = abs(a - b) / max(abs(a), abs(b), 1e-12)
+        if rel > rel_tolerance:
+            breaches.append({"key": key, "baseline": a, "fresh": b,
+                             "delta": b - a, "rel": rel})
+    breaches.sort(key=lambda br: (-br["rel"], br["key"]))
+    return breaches
+
+
+def format_breaches(breaches: list[dict[str, Any]], tolerance: float,
+                    baseline_path: str) -> str:
+    """Render breaches for the CI log: one line per leaf, worst first."""
+    lines = [f"{len(breaches)} leaf/leaves breached the {tolerance:.0%} "
+             f"drift gate vs {baseline_path} (worst first):"]
+    for br in breaches:
+        if br["baseline"] is None:
+            lines.append(f"  {br['key']}: only in fresh results "
+                         f"(= {br['fresh']:g})")
+        elif br["fresh"] is None:
+            lines.append(f"  {br['key']}: missing from fresh results "
+                         f"(baseline {br['baseline']:g})")
+        else:
+            lines.append(
+                f"  {br['key']}: {br['baseline']:g} -> {br['fresh']:g} "
+                f"({br['delta']:+g} absolute, {br['rel']:.1%} drift "
+                f"> {tolerance:.0%})")
+    worst = breaches[0]
+    what = ("structure changed" if worst["delta"] is None
+            else f"{worst['rel']:.1%} drift")
+    lines.append(f"worst offender: {worst['key']} ({what})")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,14 +87,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="relative drift tolerance (default 0.02)")
     args = parser.parse_args(argv)
 
-    diffs = compare_results(load_results(args.baseline),
-                            load_results(args.fresh),
-                            rel_tolerance=args.tolerance)
-    if diffs:
-        print(f"{len(diffs)} leaf/leaves drifted more than "
-              f"{args.tolerance:.0%} vs {args.baseline}:", file=sys.stderr)
-        for line in diffs:
-            print(f"  {line}", file=sys.stderr)
+    breaches = find_breaches(load_results(args.baseline),
+                             load_results(args.fresh),
+                             rel_tolerance=args.tolerance)
+    if breaches:
+        print(format_breaches(breaches, args.tolerance, args.baseline),
+              file=sys.stderr)
         print("If the change is intentional, regenerate the baseline:\n"
               "  PYTHONPATH=src python -m repro.experiments "
               "--json benchmarks/baseline_results.json", file=sys.stderr)

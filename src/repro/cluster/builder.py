@@ -20,7 +20,74 @@ from repro.openmx.lib import OmxLib
 from repro.sim import Environment, Tracer
 from repro.util.units import GIB
 
-__all__ = ["Cluster", "Node", "build_cluster"]
+__all__ = ["Cluster", "Node", "ShardPlan", "build_cluster", "partition_hosts"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic assignment of cluster hosts to PDES shards.
+
+    ``shards[s]`` is the sorted tuple of host ids simulated by shard ``s``;
+    every host appears in exactly one shard.  The plan is pure data
+    (hashable, picklable) so the coordinator can hand it to forked workers
+    and every side derives identical routing from it.
+    """
+
+    nhosts: int
+    shards: tuple[tuple[int, ...], ...]
+
+    @property
+    def nshards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, host: int) -> int:
+        """The shard simulating ``host`` (O(1) via the cached map)."""
+        return self._owner[host]
+
+    def __post_init__(self) -> None:
+        owner: dict[int, int] = {}
+        for s, hosts in enumerate(self.shards):
+            for h in hosts:
+                if h in owner:
+                    raise ValueError(f"host {h} assigned to shards "
+                                     f"{owner[h]} and {s}")
+                if not 0 <= h < self.nhosts:
+                    raise ValueError(f"host {h} outside 0..{self.nhosts - 1}")
+                owner[h] = s
+        if len(owner) != self.nhosts:
+            missing = sorted(set(range(self.nhosts)) - set(owner))
+            raise ValueError(f"hosts {missing} assigned to no shard")
+        object.__setattr__(self, "_owner", owner)
+
+
+def partition_hosts(nhosts: int, nshards: int,
+                    strategy: str = "block") -> ShardPlan:
+    """Partition ``nhosts`` host ids across ``nshards`` PDES shards.
+
+    ``strategy="block"`` gives each shard a contiguous run of host ids
+    (hosts that talk to near neighbours stay co-resident); ``"stripe"``
+    deals hosts round-robin (balances hot hosts that were built in id
+    order).  Both are deterministic and balanced to within one host, and
+    shards are never empty — ``nshards`` is clamped to ``nhosts``.
+    """
+    if nhosts <= 0:
+        raise ValueError(f"nhosts must be positive, got {nhosts}")
+    if nshards <= 0:
+        raise ValueError(f"nshards must be positive, got {nshards}")
+    nshards = min(nshards, nhosts)
+    if strategy == "block":
+        base, extra = divmod(nhosts, nshards)
+        shards = []
+        start = 0
+        for s in range(nshards):
+            size = base + (1 if s < extra else 0)
+            shards.append(tuple(range(start, start + size)))
+            start += size
+    elif strategy == "stripe":
+        shards = [tuple(range(s, nhosts, nshards)) for s in range(nshards)]
+    else:
+        raise ValueError(f"unknown partition strategy {strategy!r}")
+    return ShardPlan(nhosts=nhosts, shards=tuple(shards))
 
 
 @dataclass

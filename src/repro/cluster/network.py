@@ -21,9 +21,9 @@ from typing import Callable
 
 from repro.hw.nic import EthernetFrame, Nic
 from repro.obs.metrics import MetricRegistry, resolve_registry
-from repro.sim import Environment
+from repro.sim import Environment, SimulationError
 
-__all__ = ["Fabric", "FrameVerdict"]
+__all__ = ["Fabric", "FrameVerdict", "ShardFabric", "ShardFrame"]
 
 
 @dataclass
@@ -208,3 +208,190 @@ class Fabric:
 
     def addresses(self) -> list[str]:
         return list(self._nics)
+
+
+# -- PDES shard fabric --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardFrame:
+    """A host-to-host message on the PDES shard fabric.
+
+    Plain picklable data: cross-shard frames travel between worker
+    processes as these records.  ``(src, seq, copy)`` is the canonical
+    merge key — ``seq`` is assigned per *source host* monotonically by the
+    fabric that carried the frame, and ``copy`` disambiguates
+    fault-injected duplicates — so every shard (and the serial run) sorts
+    same-instant arrivals into exactly the same delivery order.
+    """
+
+    src: int
+    dst: int
+    seq: int
+    copy: int
+    kind: str
+    nbytes: int
+    sent_ns: int
+
+
+class ShardFabric:
+    """A fabric whose hosts may live in *other* worker processes.
+
+    The serial fabric above delivers by NIC address inside one
+    :class:`~repro.sim.Environment`.  A ``ShardFabric`` instead routes by
+    integer host id against a :class:`~repro.cluster.builder.ShardPlan`
+    partition: destinations local to this shard are scheduled for delivery
+    ``latency_ns`` later in the local environment, while frames for hosts
+    owned by another shard are buffered on the **egress** stub
+    (:meth:`take_egress`) for the PDES coordinator to route at the next
+    conservative-window barrier, and arrive through the **ingress** stub
+    (:meth:`ingress`) on the owning shard.
+
+    Determinism discipline (the whole point):
+
+    * delivery is batched per ``(arrival instant, destination host)`` —
+      one timer per pair, exactly as many engine events as the serial run;
+    * each batch is delivered sorted by the canonical ``(src, seq, copy)``
+      key, so same-instant arrivals from different source hosts — local or
+      remote — land in an order that is independent of shard count and of
+      event ids;
+    * fault verdicts (drop/duplicate/delay) are a pure function of the
+      frame key, evaluated at carry time on the source shard, so a faulted
+      run is byte-identical at every shard count too.
+
+    ``ingress`` refuses frames whose arrival is not strictly in the local
+    future: that would mean the conservative window math was violated, and
+    silently applying the frame would un-deterministically rewrite
+    history — abort loudly instead.
+    """
+
+    def __init__(self, env: Environment, latency_ns: int,
+                 local_hosts, fault=None,
+                 metrics: MetricRegistry | None = None):
+        if latency_ns <= 0:
+            raise ValueError(f"latency_ns must be positive, got {latency_ns}")
+        self.env = env
+        self.latency_ns = latency_ns
+        self.local_hosts = frozenset(local_hosts)
+        # fault: callable(frame_key...) -> (drop, copies, extra_delay_ns)
+        # or None.  Must be pure in (src, dst, seq) — see repro.sim.pdes.
+        self.fault = fault
+        self._handlers: dict[int, Callable[[ShardFrame, int], None]] = {}
+        # (arrival_ns, dst_host) -> frames pending delivery at that instant.
+        self._pending: dict[tuple[int, int], list[ShardFrame]] = {}
+        self._egress: list[tuple[int, ShardFrame]] = []
+        self._seq: dict[int, int] = {}
+        # Counters (plain attributes; mirrored into the registry below).
+        self.frames_carried = 0
+        self.frames_local = 0
+        self.frames_cross_shard = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
+        self.frames_delayed = 0
+        registry = resolve_registry(metrics)
+        self.metrics = registry
+        self._live_metrics = registry.enabled
+        self._m_local = registry.counter(
+            "pdes_frames_local", "shard-fabric frames delivered shard-locally")
+        self._m_cross = registry.counter(
+            "pdes_frames_cross_shard",
+            "shard-fabric frames handed to the egress stub for another shard")
+        self._m_dropped = registry.counter(
+            "pdes_frames_dropped", "shard-fabric frames dropped by fault plan")
+
+    def attach(self, host_id: int, handler: Callable[[ShardFrame, int], None]) -> None:
+        """Register the delivery callback for a shard-local host."""
+        if host_id not in self.local_hosts:
+            raise ValueError(f"host {host_id} is not local to this shard")
+        if host_id in self._handlers:
+            raise ValueError(f"host {host_id} already attached")
+        self._handlers[host_id] = handler
+
+    # -- carry ---------------------------------------------------------------
+    def send(self, src: int, dst: int, kind: str, nbytes: int) -> int:
+        """Carry one frame from ``src`` (must be local) toward ``dst``.
+
+        Returns the per-source sequence number assigned to the frame.
+        """
+        seq = self._seq.get(src, 0) + 1
+        self._seq[src] = seq
+        now = self.env.now
+        copies, extra_delay = 1, 0
+        if self.fault is not None:
+            drop, copies, extra_delay = self.fault(src, dst, seq)
+            if drop:
+                self.frames_dropped += 1
+                if self._live_metrics:
+                    self._m_dropped.inc()
+                return seq
+            if extra_delay:
+                self.frames_delayed += 1
+        self.frames_carried += 1
+        if copies > 1:
+            self.frames_duplicated += copies - 1
+        arrival = now + self.latency_ns + extra_delay
+        local = dst in self.local_hosts
+        for copy in range(copies):
+            frame = ShardFrame(src=src, dst=dst, seq=seq, copy=copy,
+                               kind=kind, nbytes=nbytes, sent_ns=now)
+            if local:
+                self.frames_local += 1
+                if self._live_metrics:
+                    self._m_local.inc()
+                self._schedule(arrival, frame)
+            else:
+                self.frames_cross_shard += 1
+                if self._live_metrics:
+                    self._m_cross.inc()
+                self._egress.append((arrival, frame))
+        return seq
+
+    def _schedule(self, arrival: int, frame: ShardFrame) -> None:
+        key = (arrival, frame.dst)
+        batch = self._pending.get(key)
+        if batch is None:
+            self._pending[key] = batch = []
+            timer = self.env.timeout(arrival - self.env.now)
+            timer.callbacks.append(lambda _ev, k=key: self._flush(k))
+        batch.append(frame)
+
+    def _flush(self, key: tuple[int, int]) -> None:
+        batch = self._pending.pop(key)
+        # Canonical same-instant merge order: entries may have been added
+        # locally at carry time and remotely at a window barrier, in any
+        # order — the sort makes delivery order a pure function of the
+        # frames themselves.
+        batch.sort(key=lambda f: (f.src, f.seq, f.copy))
+        handler = self._handlers[key[1]]
+        now = self.env.now
+        for frame in batch:
+            self.frames_delivered += 1
+            handler(frame, now)
+
+    # -- cross-shard stubs ----------------------------------------------------
+    def take_egress(self) -> list[tuple[int, ShardFrame]]:
+        """Drain the frames bound for other shards (coordinator barrier)."""
+        out = self._egress
+        self._egress = []
+        return out
+
+    def ingress(self, entries) -> None:
+        """Apply cross-shard frames routed to this shard by the coordinator.
+
+        Each entry is ``(arrival_ns, frame)`` exactly as produced by the
+        source shard's :meth:`take_egress`; the arrival instant already
+        includes latency and any fault-injected delay.
+        """
+        now = self.env.now
+        for arrival, frame in entries:
+            if arrival <= now:
+                raise SimulationError(
+                    f"conservative window violated: ingress frame "
+                    f"{frame} arrives at {arrival} but shard clock is "
+                    f"already at {now}")
+            if frame.dst not in self.local_hosts:
+                raise SimulationError(
+                    f"misrouted ingress frame {frame}: host {frame.dst} "
+                    f"is not local to this shard")
+            self._schedule(arrival, frame)

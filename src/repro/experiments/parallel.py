@@ -31,10 +31,31 @@ from typing import Any, Callable, Sequence
 
 from repro.obs.metrics import MetricRegistry, current_registry, use_registry
 
-__all__ = ["Task", "parallel_map", "run_task"]
+__all__ = ["Task", "merge_worker_registries", "parallel_map", "run_task"]
 
 # A unit of work: module-level callable + keyword arguments.
 Task = tuple[Callable[..., Any], dict[str, Any]]
+
+
+def merge_worker_registries(registries: Sequence[MetricRegistry],
+                            into: MetricRegistry | None = None) -> None:
+    """Fold worker registries into ``into`` (default: the ambient registry).
+
+    The fold is **in sequence order** — submission order for
+    :func:`parallel_map`, shard order for the PDES coordinator
+    (:mod:`repro.sim.pdes`) — so aggregation is deterministic regardless
+    of which worker finished first.  Counters sum; gauges follow their
+    declared per-metric merge policy (``last``/``sum``/``max``, see
+    :class:`repro.obs.metrics.Gauge`), which is what lets per-engine
+    gauges like ``sim_wheel_pending`` and ``sim_events_per_sec`` aggregate
+    across the workers of one run instead of the last worker overwriting
+    every other engine's value.
+    """
+    ambient = current_registry() if into is None else into
+    if ambient is None:
+        return
+    for registry in registries:
+        ambient.merge(registry)
 
 
 def run_task(task: Task) -> tuple[Any, MetricRegistry]:
@@ -89,12 +110,9 @@ def parallel_map(tasks: Sequence[Task], jobs: int = 1,
             if cache is not None:
                 cache.put(tasks[i], pair)
 
-    ambient = current_registry()
     results = []
     for pair in pairs:
         assert pair is not None
-        result, registry = pair
-        if ambient is not None:
-            ambient.merge(registry)
-        results.append(result)
+        results.append(pair[0])
+    merge_worker_registries([pair[1] for pair in pairs if pair is not None])
     return results

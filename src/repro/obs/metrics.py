@@ -39,6 +39,7 @@ from repro.obs.ring import RingBuffer
 __all__ = [
     "Counter",
     "CounterShim",
+    "GAUGE_MERGE_MODES",
     "Gauge",
     "Histogram",
     "MetricRegistry",
@@ -156,10 +157,38 @@ class _GaugeChild:
         return {"value": self.value}
 
 
+#: Valid gauge merge policies (see :meth:`MetricRegistry.merge`).
+GAUGE_MERGE_MODES = ("last", "sum", "max")
+
+
 class Gauge(_Family):
-    """A value that goes up and down (pinned pages, queue depth...)."""
+    """A value that goes up and down (pinned pages, queue depth...).
+
+    ``merge`` declares how :meth:`MetricRegistry.merge` folds this gauge
+    when aggregating worker registries from a multi-process run:
+
+    * ``"last"`` (default) — the merged-in value overwrites; right for
+      "most recent observation" gauges where workers describe the same
+      object (the historical behavior).
+    * ``"sum"`` — values add; right for per-worker quantities that are
+      disjoint shares of a whole (pending events per shard environment,
+      per-engine events/sec of concurrently running engines).
+    * ``"max"`` — the merged value is the maximum seen; right for
+      high-water marks.
+    """
 
     kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = (), merge: str | None = None):
+        super().__init__(name, help, labelnames)
+        if merge is None:
+            merge = "last"
+        if merge not in GAUGE_MERGE_MODES:
+            raise ValueError(
+                f"gauge merge policy must be one of {GAUGE_MERGE_MODES}, "
+                f"got {merge!r}")
+        self.merge_mode = merge
 
     def _new_child(self) -> _GaugeChild:
         return _GaugeChild()
@@ -360,6 +389,13 @@ class MetricRegistry:
                     f"metric {name!r} already registered with labels "
                     f"{existing.labelnames}, requested {tuple(labelnames)}"
                 )
+            requested_merge = kwargs.get("merge")
+            if (requested_merge is not None and isinstance(existing, Gauge)
+                    and requested_merge != existing.merge_mode):
+                raise ValueError(
+                    f"gauge {name!r} already registered with merge="
+                    f"{existing.merge_mode!r}, requested {requested_merge!r}"
+                )
             return existing
         metric = cls(name, help, tuple(labelnames), **kwargs)
         self._metrics[name] = metric
@@ -370,8 +406,16 @@ class MetricRegistry:
         return self._get_or_create(Counter, name, help, labelnames)
 
     def gauge(self, name: str, help: str = "",
-              labelnames: tuple[str, ...] = ()) -> Gauge:
-        return self._get_or_create(Gauge, name, help, labelnames)
+              labelnames: tuple[str, ...] = (),
+              merge: str | None = None) -> Gauge:
+        """Get or create a gauge.
+
+        ``merge`` picks the aggregation policy (:data:`GAUGE_MERGE_MODES`)
+        applied by :meth:`merge`; ``None`` keeps an existing gauge's policy
+        (or defaults a new one to ``"last"``).  Re-registering with a
+        *different* explicit policy raises, like a labelname mismatch.
+        """
+        return self._get_or_create(Gauge, name, help, labelnames, merge=merge)
 
     def histogram(self, name: str, help: str = "",
                   labelnames: tuple[str, ...] = (),
@@ -397,27 +441,40 @@ class MetricRegistry:
     def merge(self, other: "MetricRegistry") -> None:
         """Fold another registry's values into this one.
 
-        Counters add, gauges take the other's value, histograms merge
-        bucket-by-bucket.  Experiments use this to run on a private registry
-        (exact per-run percentiles) and still contribute to the session-wide
-        snapshot the CLI exports.
+        Counters add; gauges follow their declared merge policy (``"last"``
+        overwrites, ``"sum"`` adds, ``"max"`` keeps the high-water mark —
+        see :class:`Gauge`); histograms merge bucket-by-bucket.
+        Experiments use this to run on a private registry (exact per-run
+        percentiles) and still contribute to the session-wide snapshot the
+        CLI exports; multi-environment runs (parallel fan-out, PDES shards)
+        rely on the per-gauge policy so per-engine gauges aggregate instead
+        of the last worker overwriting every other engine's value.
         """
         if not self.enabled:
             return
         for theirs in other:
             cls = type(theirs)
-            kwargs = (
-                {"sample_capacity": theirs.sample_capacity}
-                if isinstance(theirs, Histogram) else {}
-            )
+            kwargs: dict[str, Any] = {}
+            if isinstance(theirs, Histogram):
+                kwargs["sample_capacity"] = theirs.sample_capacity
+            elif isinstance(theirs, Gauge):
+                kwargs["merge"] = getattr(theirs, "merge_mode", None)
             mine = self._get_or_create(cls, theirs.name, theirs.help,
                                        theirs.labelnames, **kwargs)
             for labels, child in theirs.children():
+                fresh = _label_key(mine.labelnames, labels) not in mine._children
                 target = mine.labels(**labels)
                 if isinstance(theirs, Counter):
                     target.inc(child.value)
                 elif isinstance(theirs, Gauge):
-                    target.set(child.value)
+                    mode = mine.merge_mode
+                    if mode == "sum":
+                        target.set(target.value + child.value)
+                    elif mode == "max" and not fresh:
+                        if child.value > target.value:
+                            target.set(child.value)
+                    else:
+                        target.set(child.value)
                 else:
                     target.count += child.count
                     target.sum += child.sum

@@ -58,6 +58,15 @@ and once on the current bisect-indexed one.  Equivalence is again the
 complete simulated end state — final clock plus per-process fault/pin/
 notifier counters and data digests.  ``--vm-sim-json`` writes that end
 state for the CI drift gate (``benchmarks/vm_sim_quick.json``).
+
+``pdes_soak`` is the conservative-PDES scenario (:mod:`repro.sim.pdes`):
+eight hosts exchanging request/response traffic plus local load ticks,
+partitioned across ``--shards`` worker processes advancing in
+lookahead-bounded windows.  ``--ab-pdes`` interleaves serial
+(``shards=1``, in-process) against sharded (forked) runs with a hard
+end-state equality gate and reports the speedup; ``--pdes-sim-json``
+writes the scenario's exact end state at the chosen shard count, which
+CI diffs across ``--shards {1,2,4}`` — byte-identical or the gate fails.
 """
 
 from __future__ import annotations
@@ -72,7 +81,8 @@ from typing import Any, Callable
 from repro.sim.engine import Environment
 
 __all__ = ["SCENARIOS", "datapath_sim_state", "run_ab", "run_benchmarks",
-           "run_datapath_ab", "run_scenario", "run_vm_ab", "vm_sim_state"]
+           "run_datapath_ab", "run_pdes_soak", "run_scenario", "run_vm_ab",
+           "vm_sim_state"]
 
 
 # -- scenarios ----------------------------------------------------------------
@@ -828,6 +838,68 @@ def format_vm_report(report: dict[str, Any]) -> str:
     ])
 
 
+def run_pdes_soak(quick: bool = False, shards: int = 4,
+                  repeat: int = 3) -> dict[str, Any]:
+    """Run the ``pdes_soak`` scenario at one shard count, best-of walls."""
+    from repro.sim.pdes import run_shards, soak_params
+
+    params = soak_params(quick=quick)
+    best = None
+    for _ in range(repeat):
+        out = run_shards(params, shards)
+        if best is None or out["stats"]["wall_s"] < best["stats"]["wall_s"]:
+            best = out
+    stats = best["stats"]
+    return {
+        "schema": "repro.bench.pdes-soak/v1",
+        "quick": quick,
+        "repeat": repeat,
+        "shards": stats["shards"],
+        "mode": stats["mode"],
+        "windows": stats["windows"],
+        "advance_ns": stats["advance_ns"],
+        "cross_shard_frames": stats["cross_shard_frames"],
+        "wall_s": round(stats["wall_s"], 6),
+        "critical_path_s": round(stats["critical_path_s"], 6),
+        "barrier_idle_s": round(stats["barrier_idle_s"], 6),
+        "events": best["state"]["events"],
+        "digest": best["state"]["digest"],
+    }
+
+
+def format_pdes_soak_report(report: dict[str, Any]) -> str:
+    return "\n".join([
+        f"pdes_soak ({report['shards']} shard(s), {report['mode']}, "
+        f"best of {report['repeat']}):",
+        f"  {report['events']:,} events in {report['wall_s']:.4f} s "
+        f"across {report['windows']} windows "
+        f"({report['advance_ns']:,} ns simulated)",
+        f"  {report['cross_shard_frames']} cross-shard frames, "
+        f"critical path {report['critical_path_s']:.4f} s, "
+        f"barrier idle {report['barrier_idle_s']:.4f} s",
+        f"  end-state digest {report['digest']}",
+    ])
+
+
+def format_pdes_ab_report(report: dict[str, Any]) -> str:
+    return "\n".join([
+        f"pdes_soak A/B (serial vs {report['shards']} forked shards, "
+        f"best of {report['repeat']}, {report['host_cores']} host cores):",
+        f"  serial  {report['events']:>10,} events "
+        f"{report['serial_wall_s']:>9.4f} s",
+        f"  sharded {report['events']:>10,} events "
+        f"{report['sharded_wall_s']:>9.4f} s "
+        f"({report['windows']} windows, "
+        f"{report['cross_shard_frames']} cross-shard frames)",
+        f"  wall speedup {report['speedup']:.2f}x; critical path "
+        f"{report['critical_path_s']:.4f} s "
+        f"({report['critical_path_speedup']:.2f}x attainable with "
+        f">= {report['shards']} free cores)",
+        f"  end-state digest {report['digest']}  "
+        "[identical serial and sharded]",
+    ])
+
+
 def annotate_speedup(report: dict[str, Any], baseline: dict[str, Any]) -> None:
     """Attach per-scenario and aggregate speedups vs a prior report."""
     base = baseline.get("scenarios", {})
@@ -888,14 +960,28 @@ def main(argv: list[str] | None = None) -> int:
                              "against a frozen AddressSpace/UserRegion/"
                              "PinService/region-index stack "
                              "(e.g. benchmarks/vm_seed_reference.py)")
+    parser.add_argument("--ab-pdes", action="store_true",
+                        help="interleaved A/B of the pdes_soak scenario: "
+                             "serial (shards=1, in-process) vs --shards "
+                             "forked workers, with an end-state equality "
+                             "gate")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="PDES shard count for pdes_soak / --ab-pdes / "
+                             "--pdes-sim-json (default 4)")
     parser.add_argument("--sim-json", metavar="PATH",
                         help="write the datapath_pull simulated end state "
                              "(exact, for the CI drift gate)")
     parser.add_argument("--vm-sim-json", metavar="PATH",
                         help="write the vm_churn simulated end state "
                              "(exact, for the CI drift gate)")
-    parser.add_argument("scenario", nargs="*", choices=[[], *SCENARIOS],
-                        help="subset of scenarios (default: all)")
+    parser.add_argument("--pdes-sim-json", metavar="PATH",
+                        help="write the pdes_soak simulated end state at "
+                             "--shards shards (exact; CI diffs it across "
+                             "shard counts)")
+    parser.add_argument("scenario", nargs="*",
+                        choices=[[], *SCENARIOS, "pdes_soak"],
+                        help="subset of scenarios (default: all engine "
+                             "scenarios; pdes_soak runs at --shards shards)")
     args = parser.parse_args(argv)
 
     if args.sim_json:
@@ -914,8 +1000,35 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(state, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"(vm sim state saved to {args.vm_sim_json})")
-        if not (args.ab or args.ab_datapath or args.ab_vm or args.scenario):
+        if not (args.ab or args.ab_datapath or args.ab_vm or args.ab_pdes
+                or args.pdes_sim_json or args.scenario):
             return 0
+
+    if args.pdes_sim_json:
+        from repro.sim.pdes import pdes_sim_state
+
+        state = pdes_sim_state(quick=args.quick, shards=args.shards)
+        with open(args.pdes_sim_json, "w") as fh:
+            json.dump(state, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(pdes sim state at {args.shards} shard(s) saved to "
+              f"{args.pdes_sim_json})")
+        if not (args.ab or args.ab_datapath or args.ab_vm or args.ab_pdes
+                or args.scenario):
+            return 0
+
+    if args.ab_pdes:
+        from repro.sim.pdes import run_pdes_ab
+
+        report = run_pdes_ab(quick=args.quick, shards=args.shards,
+                             repeat=args.repeat)
+        print(format_pdes_ab_report(report))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"(report saved to {args.json})")
+        return 0
 
     if args.ab_datapath:
         report = run_datapath_ab(args.ab_datapath, quick=args.quick,
@@ -938,12 +1051,26 @@ def main(argv: list[str] | None = None) -> int:
             print(f"(report saved to {args.json})")
         return 0
 
+    scenarios = list(args.scenario or [])
+    if "pdes_soak" in scenarios:
+        scenarios = [s for s in scenarios if s != "pdes_soak"]
+        report = run_pdes_soak(quick=args.quick, shards=args.shards,
+                               repeat=args.repeat)
+        print(format_pdes_soak_report(report))
+        if not scenarios:
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json.dump(report, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"(report saved to {args.json})")
+            return 0
+
     if args.ab:
         report = run_ab(args.ab, quick=args.quick, repeat=args.repeat,
-                        scenarios=args.scenario or None)
+                        scenarios=scenarios or None)
     else:
         report = run_benchmarks(quick=args.quick, repeat=args.repeat,
-                                scenarios=args.scenario or None)
+                                scenarios=scenarios or None)
     if args.baseline:
         with open(args.baseline) as fh:
             annotate_speedup(report, json.load(fh))

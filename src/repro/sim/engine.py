@@ -867,11 +867,31 @@ class Environment:
                 f"{event._waiters} but {tracked} waiter callbacks attached")
 
     # -- public queue operations ----------------------------------------------
-    def peek(self) -> int | None:
-        """Time of the next scheduled event, or None if the queue is empty."""
+    def next_event_time(self) -> int | None:
+        """Earliest pending event time across *every* pending structure.
+
+        This is the public lookahead probe the PDES shard coordinator uses
+        (:mod:`repro.sim.pdes`): a conservative window may only extend to
+        the global minimum of every shard's next event, so the answer must
+        bound **all three** places an event can be pending:
+
+        * the ready FIFO — events due exactly at ``now`` (returns ``now``);
+        * the three timer-wheel levels — the earliest occupied slot of the
+          highest-resolution occupied level holds the next expiry;
+        * the overflow min-heap — far-future events (``when ^ now >=
+          2**24``) that have not yet been promoted into the wheel.
+
+        Returns ``None`` when nothing at all is pending (the simulation
+        would end).  Never mutates queue state, so it is safe to call
+        between ``run(until=...)`` windows and from debug hooks.
+        """
         if self._ready:
             return self._now
         return self._next_time()
+
+    def peek(self) -> int | None:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self.next_event_time()
 
     def purge_cancelled(self) -> int:
         """Drop cancelled, waiter-less timeouts from the pending set.
@@ -1145,16 +1165,21 @@ class Environment:
                 m.counter("sim_wheel_promotions",
                           "overflow-heap windows promoted into the wheel"
                           ).inc(self.wheel_promotions - promotions_start)
+                # Both gauges carry merge="sum": when worker registries
+                # from a multi-environment run (parallel fan-out, PDES
+                # shards) are folded together, per-engine pending counts
+                # and throughputs add up instead of the last worker
+                # overwriting every other engine's value.
                 m.gauge("sim_wheel_pending",
                         "entries pending across ready/wheel/overflow at "
-                        "run() exit").set(self._pending_count())
+                        "run() exit", merge="sum").set(self._pending_count())
                 # Derived engine throughput so `python -m repro.obs` renders
                 # events/sec next to the protocol metrics.
                 wall_us = c_wall.value
                 if wall_us:
                     m.gauge("sim_events_per_sec",
                             "derived gauge: sim_events_processed / "
-                            "sim_wall_time_us").set(
+                            "sim_wall_time_us", merge="sum").set(
                         c_events.value / (wall_us / 1e6))
         if stop_event is not None:
             if not stop_event.triggered:

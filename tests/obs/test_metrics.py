@@ -200,3 +200,82 @@ def test_two_shims_sharing_a_registry_stay_locally_exact():
     b.incr("x", 2)
     assert a["x"] == 1 and b["x"] == 2
     assert reg.get("omx_x").labels(host="host0").value == 3
+
+
+# -- gauge merge policy -------------------------------------------------------
+
+def test_gauge_merge_policy_sum_and_max():
+    """Regression: multi-environment merges used to overwrite every gauge.
+
+    With N worker registries each carrying per-engine gauges (e.g.
+    ``sim_wheel_pending``, ``sim_events_per_sec``), folding them into the
+    ambient registry kept only the *last* worker's value.  Per-metric
+    merge policies fix that: ``sum`` aggregates, ``max`` keeps the
+    high-water mark, and the default ``last`` stays backward compatible.
+    """
+    ambient = MetricRegistry()
+    for value in (5.0, 9.0, 3.0):
+        worker = MetricRegistry()
+        worker.gauge("g_sum", "per-worker load", merge="sum").set(value)
+        worker.gauge("g_max", "per-worker peak", merge="max").set(value)
+        worker.gauge("g_last", "plain gauge").set(value)
+        ambient.merge(worker)
+    assert ambient.get("g_sum").value == 17.0
+    assert ambient.get("g_max").value == 9.0
+    assert ambient.get("g_last").value == 3.0  # default: last wins
+
+
+def test_gauge_merge_max_handles_negative_values():
+    ambient = MetricRegistry()
+    for value in (-5.0, -2.0, -9.0):
+        worker = MetricRegistry()
+        worker.gauge("depth", "water table", merge="max").set(value)
+        ambient.merge(worker)
+    # A freshly created target child (value 0.0) must not beat the real
+    # negative samples.
+    assert ambient.get("depth").value == -2.0
+
+
+def test_gauge_merge_policy_applies_per_label_child():
+    ambient = MetricRegistry()
+    for host, value in (("a", 4.0), ("b", 6.0), ("a", 3.0)):
+        worker = MetricRegistry()
+        worker.gauge("busy", "per-host busy", labelnames=("host",),
+                     merge="sum").labels(host=host).set(value)
+        ambient.merge(worker)
+    assert ambient.get("busy").labels(host="a").value == 7.0
+    assert ambient.get("busy").labels(host="b").value == 6.0
+
+
+def test_gauge_merge_mode_conflict_is_an_error():
+    reg = MetricRegistry()
+    reg.gauge("g", "gauge", merge="sum")
+    with pytest.raises(ValueError):
+        reg.gauge("g", "gauge", merge="max")
+    # Re-fetching without a policy keeps the declared one.
+    assert reg.gauge("g", "gauge").merge_mode == "sum"
+
+
+def test_gauge_rejects_unknown_merge_mode():
+    reg = MetricRegistry()
+    with pytest.raises(ValueError):
+        reg.gauge("g", "gauge", merge="median")
+
+
+def test_engine_gauges_sum_across_merged_environments():
+    """The concrete bug: two engines' run() metrics fold into one registry."""
+    from repro.sim import Environment
+
+    ambient = MetricRegistry()
+    pendings = []
+    for delay in (100, 200):
+        worker = MetricRegistry()
+        env = Environment()
+        env.metrics = worker
+        env.timeout(delay)
+        env.timeout(delay + 50_000)  # left pending past the deadline
+        env.run(until=delay)
+        pendings.append(worker.get("sim_wheel_pending").value)
+        ambient.merge(worker)
+    assert ambient.get("sim_wheel_pending").value == sum(pendings)
+    assert ambient.get("sim_events_per_sec").value > 0

@@ -1,0 +1,281 @@
+"""Conservative-lookahead PDES: shard fabric, window math, byte-identity.
+
+The contract under test (see :mod:`repro.sim.pdes`): partitioning the
+soak scenario's hosts across shards — inline or forked — produces an end
+state byte-identical to the serial run, for clean and chaos-injected
+traffic alike, while the coordinator's conservative windows guarantee no
+cross-shard frame ever arrives in the past.
+"""
+
+import pytest
+
+from repro.cluster.builder import ShardPlan, partition_hosts
+from repro.cluster.network import ShardFabric, ShardFrame
+from repro.sim import Environment, SimulationError
+from repro.sim.pdes import (
+    SeededFaultPlan,
+    SoakParams,
+    pdes_sim_state,
+    run_shards,
+    soak_params,
+)
+
+TINY = SoakParams(nhosts=4, rounds=8, seed=11, load_procs=1)
+
+
+# -- partitioning -------------------------------------------------------------
+
+
+def test_block_partition_is_contiguous_and_balanced():
+    plan = partition_hosts(10, 4)
+    assert plan.shards == ((0, 1, 2), (3, 4, 5), (6, 7), (8, 9))
+    assert plan.shard_of(0) == 0 and plan.shard_of(5) == 1
+    assert plan.shard_of(9) == 3
+
+
+def test_stripe_partition_round_robins():
+    plan = partition_hosts(7, 3, strategy="stripe")
+    assert plan.shards == ((0, 3, 6), (1, 4), (2, 5))
+
+
+def test_partition_clamps_shards_to_hosts():
+    plan = partition_hosts(2, 8)
+    assert plan.nshards == 2
+    assert all(plan.shards)  # no empty shard, ever
+
+
+def test_partition_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        partition_hosts(0, 2)
+    with pytest.raises(ValueError):
+        partition_hosts(4, 0)
+    with pytest.raises(ValueError):
+        partition_hosts(4, 2, strategy="mystery")
+
+
+def test_shard_plan_validates_host_cover():
+    with pytest.raises(ValueError):  # host 2 missing
+        ShardPlan(nhosts=3, shards=((0,), (1,)))
+    with pytest.raises(ValueError):  # host 1 assigned twice
+        ShardPlan(nhosts=2, shards=((0, 1), (1,)))
+    with pytest.raises(ValueError):  # host 5 out of range
+        ShardPlan(nhosts=2, shards=((0, 1), (5,)))
+
+
+# -- shard fabric -------------------------------------------------------------
+
+
+def test_shard_fabric_sorts_same_instant_arrivals_canonically():
+    env = Environment()
+    fabric = ShardFabric(env, latency_ns=101, local_hosts=(0, 1, 2))
+    seen = []
+    fabric.attach(0, lambda frame, now: seen.append((now, frame.src, frame.seq)))
+    # Host 2 sends before host 1 at the same instant; delivery must come
+    # back sorted by (src, seq, copy), not by send order.
+    fabric.send(2, 0, "req", 100)
+    fabric.send(1, 0, "req", 100)
+    fabric.send(1, 0, "req", 100)
+    env.run()
+    assert seen == [(101, 1, 1), (101, 1, 2), (101, 2, 1)]
+    assert fabric.frames_delivered == 3
+    # One flush timer per (arrival, dst): 3 frames, 1 engine event.
+    assert env.events_processed == 1
+
+
+def test_shard_fabric_routes_remote_hosts_to_egress():
+    env = Environment()
+    fabric = ShardFabric(env, latency_ns=7, local_hosts=(0,))
+    fabric.attach(0, lambda frame, now: None)
+    fabric.send(0, 3, "req", 64)
+    assert fabric.frames_cross_shard == 1 and fabric.frames_local == 0
+    egress = fabric.take_egress()
+    assert [(a, f.dst, f.seq) for a, f in egress] == [(7, 3, 1)]
+    assert fabric.take_egress() == []  # drained
+
+
+def test_shard_fabric_ingress_merges_with_local_sends():
+    tx_env = Environment()
+    tx = ShardFabric(tx_env, latency_ns=101, local_hosts=(1,))
+    rx_env = Environment()
+    rx = ShardFabric(rx_env, latency_ns=101, local_hosts=(0, 2))
+    seen = []
+    rx.attach(0, lambda frame, now: seen.append((now, frame.src, frame.seq)))
+    rx.attach(2, lambda frame, now: None)
+    tx.send(1, 0, "req", 10)           # remote: arrival 101 via egress
+    rx.send(2, 0, "req", 10)           # local: same arrival instant
+    rx.ingress(tx.take_egress())
+    rx_env.run()
+    # Same (arrival, dst) batch, canonical (src, seq) order — and still
+    # exactly one engine event for the merged batch.
+    assert seen == [(101, 1, 1), (101, 2, 1)]
+    assert rx_env.events_processed == 1
+
+
+def test_shard_fabric_rejects_past_ingress():
+    env = Environment()
+    fabric = ShardFabric(env, latency_ns=5, local_hosts=(0,))
+    fabric.attach(0, lambda frame, now: None)
+    env.timeout(50)
+    env.run(until=50)
+    frame = ShardFrame(src=1, dst=0, seq=1, copy=0, kind="req",
+                       nbytes=8, sent_ns=0)
+    with pytest.raises(SimulationError, match="conservative window"):
+        fabric.ingress([(50, frame)])  # arrival == now: not strictly future
+
+
+def test_shard_fabric_rejects_misrouted_ingress():
+    env = Environment()
+    fabric = ShardFabric(env, latency_ns=5, local_hosts=(0,))
+    frame = ShardFrame(src=1, dst=9, seq=1, copy=0, kind="req",
+                       nbytes=8, sent_ns=0)
+    with pytest.raises(SimulationError, match="misrouted"):
+        fabric.ingress([(10, frame)])
+
+
+def test_shard_fabric_guards_attach():
+    env = Environment()
+    fabric = ShardFabric(env, latency_ns=5, local_hosts=(0,))
+    fabric.attach(0, lambda frame, now: None)
+    with pytest.raises(ValueError):
+        fabric.attach(0, lambda frame, now: None)  # duplicate
+    with pytest.raises(ValueError):
+        fabric.attach(7, lambda frame, now: None)  # not local
+
+
+# -- fault plan ---------------------------------------------------------------
+
+
+def test_fault_plan_is_pure_and_seed_sensitive():
+    plan = SeededFaultPlan(seed=42, drop_per_mille=100, dup_per_mille=100,
+                           delay_per_mille=100)
+    verdicts = [plan(src, dst, seq) for src in range(4) for dst in range(4)
+                for seq in range(50)]
+    assert verdicts == [plan(src, dst, seq) for src in range(4)
+                        for dst in range(4) for seq in range(50)]
+    assert any(v[0] for v in verdicts)          # some drops
+    assert any(v[1] > 1 for v in verdicts)      # some duplicates
+    assert any(v[2] for v in verdicts)          # some delays
+    assert all(v[2] % 2 == 0 for v in verdicts)  # delays stay even
+    other = SeededFaultPlan(seed=43, drop_per_mille=100, dup_per_mille=100,
+                            delay_per_mille=100)
+    assert verdicts != [other(src, dst, seq) for src in range(4)
+                        for dst in range(4) for seq in range(50)]
+
+
+def test_fault_plan_rejects_odd_delay_quantum():
+    with pytest.raises(ValueError):
+        SeededFaultPlan(seed=1, delay_quantum_ns=1001)
+
+
+# -- coordinator --------------------------------------------------------------
+
+
+def test_sharded_runs_are_byte_identical_to_serial():
+    serial = run_shards(TINY, 1)
+    for nshards in (2, 3, 4):
+        sharded = run_shards(TINY, nshards, mode="inline")
+        assert sharded["state"] == serial["state"]
+        assert sharded["stats"]["cross_shard_frames"] > 0
+
+
+def test_stripe_partition_is_byte_identical_too():
+    serial = run_shards(TINY, 1)
+    striped = run_shards(TINY, 2, mode="inline", strategy="stripe")
+    assert striped["state"] == serial["state"]
+
+
+def test_forked_workers_match_inline():
+    inline = run_shards(TINY, 2, mode="inline")
+    forked = run_shards(TINY, 2, mode="fork")
+    assert forked["state"] == inline["state"]
+    assert forked["stats"]["mode"] == "fork"
+
+
+def test_chaos_traffic_stays_byte_identical_across_shards():
+    params = SoakParams(nhosts=4, rounds=10, seed=5, load_procs=1,
+                        fault=SeededFaultPlan(seed=9, drop_per_mille=120,
+                                              dup_per_mille=80,
+                                              delay_per_mille=150))
+    serial = run_shards(params, 1)
+    fabric = serial["state"]["fabric"]
+    # The plan actually bit: chaos crossing shard boundaries is the point.
+    assert fabric["dropped"] and fabric["duplicated"] and fabric["delayed"]
+    for nshards in (2, 3):
+        assert run_shards(params, nshards,
+                          mode="inline")["state"] == serial["state"]
+
+
+def test_window_sequence_is_shard_count_independent():
+    a = run_shards(TINY, 1)
+    b = run_shards(TINY, 3, mode="inline")
+    assert a["stats"]["windows"] == b["stats"]["windows"]
+    assert a["stats"]["advance_ns"] == b["stats"]["advance_ns"]
+    assert a["state"]["now_ns"] == b["state"]["now_ns"]
+
+
+def test_shorter_lookahead_changes_windows_not_behavior():
+    short = run_shards(TINY, 2, mode="inline",
+                       lookahead_ns=TINY.latency_ns // 2)
+    full = run_shards(TINY, 2, mode="inline")
+    assert short["stats"]["windows"] > full["stats"]["windows"]
+    # The final clock is the last window's end, which legitimately depends
+    # on the lookahead; everything the simulation *did* must not.
+    for key in ("events", "hosts", "fabric"):
+        assert short["state"][key] == full["state"][key]
+
+
+def test_lookahead_must_not_exceed_latency():
+    with pytest.raises(ValueError):
+        run_shards(TINY, 2, mode="inline",
+                   lookahead_ns=TINY.latency_ns + 1)
+    with pytest.raises(ValueError):
+        run_shards(TINY, 2, mode="inline", lookahead_ns=0)
+
+
+def test_coordinator_counters_land_in_registry():
+    from repro.obs.metrics import MetricRegistry
+
+    registry = MetricRegistry()
+    out = run_shards(TINY, 2, mode="inline", registry=registry)
+    assert (registry.get("pdes_windows").value
+            == out["stats"]["windows"])
+    assert (registry.get("pdes_lookahead_ns").value
+            == out["stats"]["advance_ns"])
+    # Worker-side series merged in shard order: the per-shard fabric
+    # cross-shard counter sums to the coordinator's routed-frame count.
+    assert (registry.get("pdes_frames_cross_shard").value
+            == out["stats"]["cross_shard_frames"])
+    assert registry.get("pdes_barrier_wait_us").value >= 0
+
+
+def test_worker_errors_propagate_with_traceback():
+    bad = SoakParams(nhosts=4, rounds=4, seed=1, load_procs=27)
+    # Sabotage: run a fork worker against a plan whose params raise in the
+    # child (latency mutated to even is caught at SoakParams construction,
+    # so instead drive the protocol by hand with a broken ingress).
+    from repro.sim.pdes import _ForkHandle
+    import multiprocessing
+
+    plan = partition_hosts(4, 2)
+    ctx = multiprocessing.get_context("fork")
+    handle = _ForkHandle(0, plan, bad, ctx)
+    try:
+        assert handle.initial_next() == 0
+        frame = ShardFrame(src=2, dst=0, seq=1, copy=0, kind="req",
+                           nbytes=8, sent_ns=0)
+        handle.start_window(10, [(0, frame)])  # arrival 0 <= now: must blow
+        with pytest.raises(SimulationError, match="conservative window"):
+            handle.finish_window()
+    finally:
+        handle.close()
+
+
+def test_pdes_sim_state_shape():
+    state = pdes_sim_state(quick=True, shards=2, mode="inline")
+    assert state["schema"] == "repro.pdes.sim/v1"
+    assert state["shards"] == 2
+    for leg in ("clean", "chaos"):
+        assert set(state[leg]) == {"now_ns", "events", "hosts", "fabric",
+                                   "digest"}
+        assert len(state[leg]["hosts"]) == soak_params(quick=True).nhosts
+    assert state["clean"]["digest"] != state["chaos"]["digest"]

@@ -1,0 +1,66 @@
+"""The drift-gate reporter: which metric breached, and by how much."""
+
+import json
+
+from benchmarks.check_drift import find_breaches, format_breaches, main
+
+
+def test_find_breaches_reports_magnitude_worst_first():
+    old = {"a": {"lat": 100.0, "bw": 50.0}, "steady": 7}
+    new = {"a": {"lat": 150.0, "bw": 50.4}, "steady": 7}
+    breaches = find_breaches(old, new, rel_tolerance=0.002)
+    assert [b["key"] for b in breaches] == ["a.lat", "a.bw"]
+    worst = breaches[0]
+    assert worst["baseline"] == 100.0 and worst["fresh"] == 150.0
+    assert worst["delta"] == 50.0
+    assert abs(worst["rel"] - 50 / 150) < 1e-9
+
+
+def test_find_breaches_respects_tolerance():
+    old = {"x": 100.0}
+    assert find_breaches(old, {"x": 101.0}, rel_tolerance=0.02) == []
+    assert find_breaches(old, {"x": 110.0}, rel_tolerance=0.02)
+
+
+def test_structure_changes_sort_before_value_drift():
+    old = {"x": 100.0, "gone": 1.0}
+    new = {"x": 200.0, "added": 2.0}
+    breaches = find_breaches(old, new, rel_tolerance=0.02)
+    assert [b["key"] for b in breaches] == ["added", "gone", "x"]
+    assert breaches[0]["baseline"] is None
+    assert breaches[1]["fresh"] is None
+
+
+def test_format_breaches_names_metric_and_magnitude():
+    breaches = find_breaches({"a.lat": 100.0}, {"a.lat": 150.0},
+                             rel_tolerance=0.02)
+    text = format_breaches(breaches, 0.02, "baseline.json")
+    assert "a.lat" in text
+    assert "100 -> 150" in text
+    assert "+50 absolute" in text
+    assert "33.3% drift" in text
+    assert "worst offender: a.lat" in text
+
+
+def test_digest_strings_are_ignored():
+    # The gate compares numeric leaves only: digests differing is caught
+    # by the exact-diff CI steps, not the tolerance gate.
+    old = {"digest": "aaaa", "v": 1.0}
+    new = {"digest": "bbbb", "v": 1.0}
+    assert find_breaches(old, new) == []
+
+
+def test_main_exit_codes_and_message(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps({"m": {"lat": 100.0}}))
+    fresh.write_text(json.dumps({"m": {"lat": 100.5}}))
+    assert main([str(base), str(fresh)]) == 0
+    assert "no drift" in capsys.readouterr().out
+
+    fresh.write_text(json.dumps({"m": {"lat": 130.0}}))
+    assert main([str(base), str(fresh)]) == 1
+    err = capsys.readouterr().err
+    assert "m.lat" in err and "100 -> 130" in err
+    assert "worst offender: m.lat" in err
+    assert "regenerate the baseline" in err
