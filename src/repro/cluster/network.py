@@ -23,7 +23,8 @@ from repro.hw.nic import EthernetFrame, Nic
 from repro.obs.metrics import MetricRegistry, resolve_registry
 from repro.sim import Environment, SimulationError
 
-__all__ = ["Fabric", "FrameVerdict", "ShardFabric", "ShardFrame"]
+__all__ = ["EtherCrossing", "Fabric", "FrameVerdict", "ShardEtherFabric",
+           "ShardFabric", "ShardFrame"]
 
 
 @dataclass
@@ -395,3 +396,201 @@ class ShardFabric:
                     f"misrouted ingress frame {frame}: host {frame.dst} "
                     f"is not local to this shard")
             self._schedule(arrival, frame)
+
+
+# -- full-stack shard fabric --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EtherCrossing:
+    """One Ethernet frame crossing a PDES shard boundary.
+
+    The real :class:`~repro.hw.nic.EthernetFrame` rides inside (every
+    Open-MX wire packet — eager frags, rndv, pull req/reply, notify,
+    liback — is a frozen picklable dataclass, so the whole thing
+    marshals over the worker pipe untouched).  ``src``/``dst`` are global
+    *host ids*: the coordinator routes on ``dst`` without knowing
+    anything about addresses, and ``(src, seq, copy)`` is the canonical
+    same-instant merge key — ``seq`` is the per-source-NIC TX sequence
+    the NIC stamped when the frame left the wire, monotonic and
+    shard-independent.
+    """
+
+    src: int
+    dst: int
+    seq: int
+    copy: int
+    frame: EthernetFrame
+
+
+class ShardEtherFabric:
+    """The full-stack sibling of :class:`ShardFabric`.
+
+    :class:`ShardFabric` carries abstract :class:`ShardFrame` records for
+    fabric-level workloads; this one carries **real Ethernet frames**
+    between **real NICs**, so complete Open-MX hosts — kernel, MMU
+    notifiers, pin service, driver, softirq, NIC — can be partitioned
+    across PDES workers.  It plugs into :meth:`Nic.attach_link` exactly
+    like the serial :class:`Fabric` (the NIC, driver and kernel cannot
+    tell the difference), routes by NIC address through a global
+    ``host id -> address`` table, and applies the same determinism
+    discipline as :class:`ShardFabric`:
+
+    * delivery batched per ``(arrival, dst host)`` — one timer per pair,
+      so engine event counts equal the serial (1-shard) run exactly;
+    * each batch delivered sorted by the canonical ``(src host, NIC tx
+      seq, copy)`` key, independent of shard count and event ids;
+    * faults only via a **pure** plan ``(src, dst, seq) -> (drop, copies,
+      extra_delay_ns)`` evaluated at carry time on the source shard —
+      stateful injector chains are rejected by construction (there is no
+      ``add_fault_injector``) because their verdicts would depend on the
+      partition.
+
+    The lookahead a coordinator may use over this fabric is
+    ``latency_ns``: a frame leaves the source NIC at carry time ``t``
+    (TX wire serialization already happened inside the source host) and
+    arrives at ``t + latency_ns + extra_delay >= t + latency_ns``.
+    """
+
+    def __init__(self, env: Environment, latency_ns: int, plan, shard_id: int,
+                 host_addrs: dict[int, str], fault=None,
+                 metrics: MetricRegistry | None = None):
+        if latency_ns <= 0:
+            raise ValueError(f"latency_ns must be positive, got {latency_ns}")
+        self.env = env
+        self.latency_ns = latency_ns
+        self.plan = plan
+        self.shard_id = shard_id
+        self.local_hosts = frozenset(plan.shards[shard_id])
+        self.fault = fault
+        self._addr_of = dict(host_addrs)
+        self._host_of = {a: h for h, a in host_addrs.items()}
+        if len(self._host_of) != len(self._addr_of):
+            raise ValueError("duplicate NIC address in host_addrs")
+        self._nics: dict[int, Nic] = {}
+        # (arrival_ns, dst_host) -> [(sort_key, frame), ...] pending batches.
+        self._pending: dict[tuple[int, int],
+                            list[tuple[tuple[int, int, int], EthernetFrame]]] = {}
+        self._egress: list[tuple[int, EtherCrossing]] = []
+        # Counters (plain attributes; registry mirrors share the pdes_*
+        # names with ShardFabric so coordinator-merged dashboards see one
+        # series regardless of which shard fabric a scenario used).
+        self.frames_carried = 0
+        self.frames_local = 0
+        self.frames_cross_shard = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
+        self.frames_delayed = 0
+        registry = resolve_registry(metrics)
+        self.metrics = registry
+        self._live_metrics = registry.enabled
+        self._m_local = registry.counter(
+            "pdes_frames_local", "shard-fabric frames delivered shard-locally")
+        self._m_cross = registry.counter(
+            "pdes_frames_cross_shard",
+            "shard-fabric frames handed to the egress stub for another shard")
+        self._m_dropped = registry.counter(
+            "pdes_frames_dropped", "shard-fabric frames dropped by fault plan")
+
+    def attach(self, nic: Nic) -> None:
+        """Wire one shard-local NIC into the fabric (serial-Fabric API)."""
+        host = self._host_of.get(nic.address)
+        if host is None:
+            raise ValueError(f"NIC address {nic.address!r} is not in the "
+                             "cluster's host table")
+        if host not in self.local_hosts:
+            raise ValueError(f"host {host} ({nic.address}) is not local to "
+                             f"shard {self.shard_id}")
+        if host in self._nics:
+            raise ValueError(f"duplicate NIC for host {host}")
+        self._nics[host] = nic
+        nic.attach_link(_Port(self, nic))
+
+    def address_of(self, host_id: int) -> str:
+        """NIC address of any global host — local or remote."""
+        return self._addr_of[host_id]
+
+    # -- forwarding ----------------------------------------------------------
+    def _carry(self, src_nic: Nic, frame: EthernetFrame) -> None:
+        src = self._host_of[frame.src]
+        dst = self._host_of.get(frame.dst)
+        if dst is None:
+            self.frames_dropped += 1
+            if self._live_metrics:
+                self._m_dropped.inc()
+            return
+        copies, extra_delay = 1, 0
+        if self.fault is not None:
+            drop, copies, extra_delay = self.fault(src, dst, frame.seq)
+            if drop:
+                self.frames_dropped += 1
+                if self._live_metrics:
+                    self._m_dropped.inc()
+                return
+            if extra_delay:
+                self.frames_delayed += 1
+        self.frames_carried += 1
+        if copies > 1:
+            self.frames_duplicated += copies - 1
+        arrival = self.env.now + self.latency_ns + extra_delay
+        local = dst in self.local_hosts
+        for copy in range(copies):
+            if local:
+                self.frames_local += 1
+                if self._live_metrics:
+                    self._m_local.inc()
+                self._schedule(arrival, dst, (src, frame.seq, copy), frame)
+            else:
+                self.frames_cross_shard += 1
+                if self._live_metrics:
+                    self._m_cross.inc()
+                self._egress.append(
+                    (arrival, EtherCrossing(src=src, dst=dst, seq=frame.seq,
+                                            copy=copy, frame=frame)))
+
+    def _schedule(self, arrival: int, dst: int,
+                  key: tuple[int, int, int], frame: EthernetFrame) -> None:
+        pkey = (arrival, dst)
+        batch = self._pending.get(pkey)
+        if batch is None:
+            self._pending[pkey] = batch = []
+            timer = self.env.timeout(arrival - self.env.now)
+            timer.callbacks.append(lambda _ev, k=pkey: self._flush(k))
+        batch.append((key, frame))
+
+    def _flush(self, pkey: tuple[int, int]) -> None:
+        batch = self._pending.pop(pkey)
+        # Canonical same-instant merge order: entries arrive here from
+        # local carries and from window-barrier ingress in arbitrary
+        # order; the sort makes delivery order a pure function of the
+        # frames themselves.
+        batch.sort(key=lambda e: e[0])
+        nic = self._nics[pkey[1]]
+        for _key, frame in batch:
+            self.frames_delivered += 1
+            nic.deliver(frame)
+
+    # -- cross-shard stubs ----------------------------------------------------
+    def take_egress(self) -> list[tuple[int, EtherCrossing]]:
+        """Drain the frames bound for other shards (coordinator barrier)."""
+        out = self._egress
+        self._egress = []
+        return out
+
+    def ingress(self, entries) -> None:
+        """Apply cross-shard crossings routed here by the coordinator."""
+        now = self.env.now
+        for arrival, crossing in entries:
+            if arrival <= now:
+                raise SimulationError(
+                    f"conservative window violated: ingress frame "
+                    f"{crossing} arrives at {arrival} but shard clock is "
+                    f"already at {now}")
+            if crossing.dst not in self.local_hosts:
+                raise SimulationError(
+                    f"misrouted ingress frame {crossing}: host "
+                    f"{crossing.dst} is not local to this shard")
+            self._schedule(arrival, crossing.dst,
+                           (crossing.src, crossing.seq, crossing.copy),
+                           crossing.frame)

@@ -7,6 +7,11 @@ Usage::
     python -m repro.experiments table1          # one artifact only
     python -m repro.experiments --jobs 4        # fan sweep points out across
                                                 # 4 worker processes
+    python -m repro.experiments overlap_miss --shards 4
+                                                # also measure overlap misses
+                                                # on the PDES-sharded full
+                                                # stack ('auto' caps at the
+                                                # host's cores)
     python -m repro.experiments --cache         # reuse results cached by a
                                                 # prior run of identical code
     python -m repro.experiments --json out.json # also save machine-readable results
@@ -39,6 +44,7 @@ from repro.experiments.figures67 import (
 from repro.experiments.motivation import format_motivation, run_motivation
 from repro.experiments.overlap_miss import (
     run_miss_probability,
+    run_miss_probability_sharded,
     run_overloaded_core,
 )
 from repro.experiments.reuse_sweep import format_reuse_sweep, run_reuse_sweep
@@ -70,6 +76,24 @@ def _take_jobs_flag(argv: list[str]) -> tuple[list[str], int]:
     return argv[:idx] + argv[idx + 2:], jobs
 
 
+def _take_shards_flag(argv: list[str]) -> tuple[list[str], int | None]:
+    """``--shards N|auto``: also run the overlap-miss measurement on the
+    PDES-sharded full stack (byte-identity enforced vs serial).  Absent,
+    output stays byte-identical to prior releases."""
+    if "--shards" not in argv:
+        return argv, None
+    idx = argv.index("--shards")
+    if idx + 1 >= len(argv):
+        raise SystemExit("error: --shards requires a count (or 'auto')")
+    from repro.sim.pdes import resolve_shards
+
+    try:
+        shards = resolve_shards(argv[idx + 1])
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return argv[:idx] + argv[idx + 2:], shards
+
+
 def _take_cache_flag(argv: list[str]):
     """``--cache`` / ``--cache-dir DIR``; returns (argv, ResultCache | None)."""
     argv, cache_dir = _take_path_flag(argv, "--cache-dir")
@@ -89,6 +113,7 @@ def main(argv: list[str]) -> int:
     argv, json_path = _take_path_flag(argv, "--json")
     argv, metrics_path = _take_path_flag(argv, "--metrics")
     argv, jobs = _take_jobs_flag(argv)
+    argv, shards = _take_shards_flag(argv)
     argv, cache = _take_cache_flag(argv)
     collected: dict[str, object] = {}
     known = {
@@ -109,7 +134,8 @@ def main(argv: list[str]) -> int:
     # the end covers the whole session's kernels, NICs and drivers.
     registry = MetricRegistry()
     with use_registry(registry):
-        _run_wanted(wanted, sizes, collected, jobs=jobs, cache=cache)
+        _run_wanted(wanted, sizes, collected, jobs=jobs, cache=cache,
+                    shards=shards)
     if cache is not None:
         # stderr, so a warm run's stdout is byte-identical to a cold one.
         print(f"(cache: {cache.hits} hit(s), {cache.misses} miss(es) "
@@ -127,7 +153,7 @@ def main(argv: list[str]) -> int:
 
 
 def _run_wanted(wanted: set[str], sizes, collected: dict[str, object],
-                jobs: int = 1, cache=None) -> None:
+                jobs: int = 1, cache=None, shards: int | None = None) -> None:
     from repro.experiments.parallel import parallel_map
 
     def one(fn, **kwargs):
@@ -173,6 +199,17 @@ def _run_wanted(wanted: set[str], sizes, collected: dict[str, object],
               f"{over.pin_wait_p50_ns / 1e3:.0f} us, p95 "
               f"{over.pin_wait_p95_ns / 1e3:.0f} us, p99 "
               f"{over.pin_wait_p99_ns / 1e3:.0f} us")
+        if shards is not None:
+            smiss = run_miss_probability_sharded(shards=shards)
+            collected["miss_probability_sharded"] = smiss
+            print(f"Section 4.3: overlap-miss on the PDES-sharded full "
+                  f"stack ({smiss.shards} shard(s), byte-identical to "
+                  f"serial)")
+            print(f"  {smiss.overlap_misses} misses / {smiss.data_packets} "
+                  f"data packets (rate {smiss.miss_rate:.2e}); pin-wait "
+                  f"p50 {smiss.pin_wait_p50_ns / 1e3:.0f} us, p95 "
+                  f"{smiss.pin_wait_p95_ns / 1e3:.0f} us, p99 "
+                  f"{smiss.pin_wait_p99_ns / 1e3:.0f} us")
         print()
     if "motivation" in wanted:
         collected["motivation"] = one(run_motivation)

@@ -306,10 +306,44 @@ def main(argv: list[str] | None = None) -> int:
                              "command")
     parser.add_argument("--max-seeds", type=int, default=None,
                         help="with --until-failure: give up after N seeds")
+    parser.add_argument("--shards", default=None, metavar="N",
+                        help="sharded chaos gate: run the full-stack "
+                             "openmx_shard clean+chaos scenario serially and "
+                             "at N PDES shards ('auto' caps at the host's "
+                             "cores) with --seed as the fault seed; exit 1 "
+                             "unless the end states are byte-identical")
     args = parser.parse_args(argv)
 
     seeds = range(*args.seeds) if args.seeds else [args.seed]
     mode = PinningMode(args.mode) if args.mode else None
+
+    if args.shards is not None:
+        # The classic 2-node chaos workload drives its faults from one
+        # global RNG, which cannot shard byte-identically by construction;
+        # the sharded gate instead uses the pure-fault-plan full-stack
+        # scenario, where chaos verdicts are shard-independent.
+        from repro.sim.openmx_shard import openmx_sim_state
+        from repro.sim.pdes import resolve_shards
+
+        shards = resolve_shards(args.shards)
+        states = {}
+        for n in sorted({1, shards}):
+            state = openmx_sim_state(quick=True, chaos_seed=args.seed,
+                                     shards=n)
+            del state["shards"]  # the only field allowed to differ
+            states[n] = state
+        base = states[1]
+        for n, state in states.items():
+            verdict = "identical" if state == base else "DIVERGED"
+            print(f"openmx_shard chaos seed={args.seed} shards={n}: "
+                  f"clean digest {state['clean']['digest'][:16]}..., "
+                  f"chaos digest {state['chaos']['digest'][:16]}... "
+                  f"[{verdict} vs serial]")
+        if any(state != base for state in states.values()):
+            print("sharded chaos end state diverged from serial",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     if args.until_failure:
         from repro.faults.shrink import hunt_until_failure

@@ -116,6 +116,10 @@ class OmxLib:
         self._eager_sent: weakref.WeakValueDictionary[int, OmxRequest] = (
             weakref.WeakValueDictionary()
         )
+        # Regions handed out by the cache but whose submit syscall has not
+        # yet reached comm_started look idle to the driver; lease counts
+        # bridge that window so a concurrent get() cannot evict them.
+        self._region_leases: dict[int, int] = {}
 
     # -- region plumbing ---------------------------------------------------------
     def _declare_region(self, ctx: ExecContext,
@@ -127,8 +131,20 @@ class OmxLib:
         yield from self.driver.destroy_region(ctx, self.ep, rid)
 
     def _region_is_idle(self, rid: int) -> bool:
+        if self._region_leases.get(rid):
+            return False
         region = self.ep.regions.get(rid)
         return region is None or region.active_comms == 0
+
+    def _lease_region(self, rid: int) -> None:
+        self._region_leases[rid] = self._region_leases.get(rid, 0) + 1
+
+    def _unlease_region(self, rid: int) -> None:
+        count = self._region_leases.get(rid, 0) - 1
+        if count > 0:
+            self._region_leases[rid] = count
+        else:
+            self._region_leases.pop(rid, None)
 
     def _get_region(self, ctx: ExecContext, va: int, length: int,
                     req: OmxRequest,
@@ -141,6 +157,9 @@ class OmxLib:
         else:
             rid = yield from self._declare_region(ctx, segments)
             req._cached_region = False
+        # Held until the submit syscall reaches comm_started; callers
+        # release it right after their submit returns (try/finally).
+        self._lease_region(rid)
         req.region_id = rid
         return rid
 
@@ -187,7 +206,10 @@ class OmxLib:
             )
             return seq
 
-        seq = yield from self.proc.syscall(body)
+        try:
+            seq = yield from self.proc.syscall(body)
+        finally:
+            self._unlease_region(req.region_id)
         self._send_waiting[seq] = req
         return req
 
@@ -227,7 +249,10 @@ class OmxLib:
             )
             return seq
 
-        seq = yield from self.proc.syscall(body)
+        try:
+            seq = yield from self.proc.syscall(body)
+        finally:
+            self._unlease_region(req.region_id)
         self._send_waiting[seq] = req
         return req
 
@@ -450,6 +475,9 @@ class OmxLib:
             )
             return handle
 
-        handle = yield from self.proc.syscall(body)
+        try:
+            handle = yield from self.proc.syscall(body)
+        finally:
+            self._unlease_region(req.region_id)
         req.received_length = rndv.msg_length
         self._recv_waiting[handle] = req

@@ -67,6 +67,17 @@ lookahead-bounded windows.  ``--ab-pdes`` interleaves serial
 end-state equality gate and reports the speedup; ``--pdes-sim-json``
 writes the scenario's exact end state at the chosen shard count, which
 CI diffs across ``--shards {1,2,4}`` — byte-identical or the gate fails.
+
+``openmx_shard`` (:mod:`repro.sim.openmx_shard`) applies the same
+discipline to the **full Open-MX stack**: 16 hosts, each with a complete
+kernel/MMU-notifier/pin-service/driver/NIC stack, exchanging mixed
+eager/rendezvous traffic under pin pressure, sharded across worker
+processes.  ``--ab-openmx`` runs the serial-vs-sharded equality gate plus
+a block/stripe/affinity partition comparison; ``--openmx-sim-json``
+writes the end state for the cross-shard-count CI diff.  ``--shards
+auto`` caps the default shard count at the host's usable cores (the wall
+speedup is meaningless when shards > cores; reports flag that as
+``core_starved``).
 """
 
 from __future__ import annotations
@@ -81,7 +92,8 @@ from typing import Any, Callable
 from repro.sim.engine import Environment
 
 __all__ = ["SCENARIOS", "datapath_sim_state", "run_ab", "run_benchmarks",
-           "run_datapath_ab", "run_pdes_soak", "run_scenario", "run_vm_ab",
+           "run_datapath_ab", "run_openmx_shard", "run_pdes_soak",
+           "run_scenario", "run_vm_ab",
            "vm_sim_state"]
 
 
@@ -882,7 +894,7 @@ def format_pdes_soak_report(report: dict[str, Any]) -> str:
 
 
 def format_pdes_ab_report(report: dict[str, Any]) -> str:
-    return "\n".join([
+    lines = [
         f"pdes_soak A/B (serial vs {report['shards']} forked shards, "
         f"best of {report['repeat']}, {report['host_cores']} host cores):",
         f"  serial  {report['events']:>10,} events "
@@ -895,9 +907,96 @@ def format_pdes_ab_report(report: dict[str, Any]) -> str:
         f"{report['critical_path_s']:.4f} s "
         f"({report['critical_path_speedup']:.2f}x attainable with "
         f">= {report['shards']} free cores)",
-        f"  end-state digest {report['digest']}  "
-        "[identical serial and sharded]",
+    ]
+    if report.get("core_starved"):
+        lines.append(
+            f"  CORE-STARVED: {report['host_cores']} cores < "
+            f"{report['shards']} shards — wall speedup is meaningless "
+            "here; critical path is the honest number "
+            "(try --shards auto)")
+    lines.append(f"  end-state digest {report['digest']}  "
+                 "[identical serial and sharded]")
+    return "\n".join(lines)
+
+
+def run_openmx_shard(quick: bool = False, shards: int = 4, repeat: int = 3,
+                     strategy: str = "block") -> dict[str, Any]:
+    """Run the full-stack ``openmx_shard`` scenario at one shard count."""
+    from repro.sim.openmx_shard import openmx_params, run_openmx
+
+    params = openmx_params(quick=quick)
+    best = None
+    for _ in range(repeat):
+        out = run_openmx(params, shards, strategy=strategy)
+        if best is None or out["stats"]["wall_s"] < best["stats"]["wall_s"]:
+            best = out
+    stats = best["stats"]
+    return {
+        "schema": "repro.bench.openmx-shard-run/v1",
+        "quick": quick,
+        "repeat": repeat,
+        "nhosts": params.nhosts,
+        "shards": stats["shards"],
+        "mode": stats["mode"],
+        "strategy": stats["strategy"],
+        "windows": stats["windows"],
+        "advance_ns": stats["advance_ns"],
+        "cross_shard_frames": stats["cross_shard_frames"],
+        "wall_s": round(stats["wall_s"], 6),
+        "critical_path_s": round(stats["critical_path_s"], 6),
+        "barrier_idle_s": round(stats["barrier_idle_s"], 6),
+        "events": best["state"]["events"],
+        "digest": best["state"]["digest"],
+    }
+
+
+def format_openmx_shard_report(report: dict[str, Any]) -> str:
+    return "\n".join([
+        f"openmx_shard ({report['nhosts']} hosts, {report['shards']} "
+        f"shard(s), {report['mode']}, {report['strategy']} partition, "
+        f"best of {report['repeat']}):",
+        f"  {report['events']:,} events in {report['wall_s']:.4f} s "
+        f"across {report['windows']} windows "
+        f"({report['advance_ns']:,} ns simulated)",
+        f"  {report['cross_shard_frames']} cross-shard frames, "
+        f"critical path {report['critical_path_s']:.4f} s, "
+        f"barrier idle {report['barrier_idle_s']:.4f} s",
+        f"  end-state digest {report['digest']}",
     ])
+
+
+def format_openmx_ab_report(report: dict[str, Any]) -> str:
+    strat = report["strategies"]
+    lines = [
+        f"openmx_shard A/B (full Open-MX stack, {report['nhosts']} hosts; "
+        f"serial vs {report['shards']} forked shards, best of "
+        f"{report['repeat']}, {report['host_cores']} host cores):",
+        f"  serial  {report['events']:>10,} events "
+        f"{report['serial_wall_s']:>9.4f} s",
+        f"  sharded {report['events']:>10,} events "
+        f"{report['sharded_wall_s']:>9.4f} s "
+        f"({report['windows']} windows, "
+        f"{report['cross_shard_frames']} cross-shard frames)",
+        f"  wall speedup {report['speedup']:.2f}x; critical path "
+        f"{report['critical_path_s']:.4f} s "
+        f"({report['critical_path_speedup']:.2f}x attainable with "
+        f">= {report['shards']} free cores)",
+    ]
+    if report.get("core_starved"):
+        lines.append(
+            f"  CORE-STARVED: {report['host_cores']} cores < "
+            f"{report['shards']} shards — wall speedup is meaningless "
+            "here; critical path is the honest number "
+            "(try --shards auto)")
+    lines.extend([
+        "  partition strategies (cross-shard frames, identical digests): "
+        + ", ".join(f"{k}={v}" for k, v in strat.items()),
+        f"  affinity cut: {report['affinity_cut_vs_block']:.1%} vs block, "
+        f"{report['affinity_cut_vs_stripe']:.1%} vs stripe",
+        f"  end-state digest {report['digest']}  "
+        "[identical serial and all sharded runs]",
+    ])
+    return "\n".join(lines)
 
 
 def annotate_speedup(report: dict[str, Any], baseline: dict[str, Any]) -> None:
@@ -965,9 +1064,16 @@ def main(argv: list[str] | None = None) -> int:
                              "serial (shards=1, in-process) vs --shards "
                              "forked workers, with an end-state equality "
                              "gate")
-    parser.add_argument("--shards", type=int, default=4,
-                        help="PDES shard count for pdes_soak / --ab-pdes / "
-                             "--pdes-sim-json (default 4)")
+    parser.add_argument("--ab-openmx", action="store_true",
+                        help="interleaved A/B of the full-stack openmx_shard "
+                             "scenario: serial vs --shards forked workers "
+                             "with an end-state equality gate, plus a "
+                             "block/stripe/affinity partition comparison")
+    parser.add_argument("--shards", default="4",
+                        help="PDES shard count for pdes_soak / openmx_shard "
+                             "/ --ab-pdes / --ab-openmx / --*-sim-json; "
+                             "'auto' caps the default at the host's usable "
+                             "cores (default 4)")
     parser.add_argument("--sim-json", metavar="PATH",
                         help="write the datapath_pull simulated end state "
                              "(exact, for the CI drift gate)")
@@ -978,11 +1084,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the pdes_soak simulated end state at "
                              "--shards shards (exact; CI diffs it across "
                              "shard counts)")
+    parser.add_argument("--openmx-sim-json", metavar="PATH",
+                        help="write the openmx_shard simulated end state at "
+                             "--shards shards (exact; CI diffs it across "
+                             "shard counts)")
     parser.add_argument("scenario", nargs="*",
-                        choices=[[], *SCENARIOS, "pdes_soak"],
+                        choices=[[], *SCENARIOS, "pdes_soak", "openmx_shard"],
                         help="subset of scenarios (default: all engine "
-                             "scenarios; pdes_soak runs at --shards shards)")
+                             "scenarios; pdes_soak and openmx_shard run at "
+                             "--shards shards)")
     args = parser.parse_args(argv)
+    from repro.sim.pdes import resolve_shards
+
+    args.shards = resolve_shards(args.shards)
 
     if args.sim_json:
         state = datapath_sim_state(quick=args.quick)
@@ -990,8 +1104,9 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(state, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"(datapath sim state saved to {args.sim_json})")
-        if not (args.ab or args.ab_datapath or args.ab_vm
-                or args.vm_sim_json or args.scenario):
+        if not (args.ab or args.ab_datapath or args.ab_vm or args.ab_pdes
+                or args.ab_openmx or args.vm_sim_json or args.pdes_sim_json
+                or args.openmx_sim_json or args.scenario):
             return 0
 
     if args.vm_sim_json:
@@ -1001,7 +1116,8 @@ def main(argv: list[str] | None = None) -> int:
             fh.write("\n")
         print(f"(vm sim state saved to {args.vm_sim_json})")
         if not (args.ab or args.ab_datapath or args.ab_vm or args.ab_pdes
-                or args.pdes_sim_json or args.scenario):
+                or args.ab_openmx or args.pdes_sim_json
+                or args.openmx_sim_json or args.scenario):
             return 0
 
     if args.pdes_sim_json:
@@ -1014,18 +1130,44 @@ def main(argv: list[str] | None = None) -> int:
         print(f"(pdes sim state at {args.shards} shard(s) saved to "
               f"{args.pdes_sim_json})")
         if not (args.ab or args.ab_datapath or args.ab_vm or args.ab_pdes
-                or args.scenario):
+                or args.ab_openmx or args.openmx_sim_json or args.scenario):
             return 0
 
-    if args.ab_pdes:
-        from repro.sim.pdes import run_pdes_ab
+    if args.openmx_sim_json:
+        from repro.sim.openmx_shard import openmx_sim_state
 
-        report = run_pdes_ab(quick=args.quick, shards=args.shards,
-                             repeat=args.repeat)
-        print(format_pdes_ab_report(report))
+        state = openmx_sim_state(quick=args.quick, shards=args.shards)
+        with open(args.openmx_sim_json, "w") as fh:
+            json.dump(state, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(openmx sim state at {args.shards} shard(s) saved to "
+              f"{args.openmx_sim_json})")
+        if not (args.ab or args.ab_datapath or args.ab_vm or args.ab_pdes
+                or args.ab_openmx or args.scenario):
+            return 0
+
+    if args.ab_pdes or args.ab_openmx:
+        # With both flags, one --json file carries both sections — that is
+        # how CI regenerates BENCH_pdes.json in a single run.
+        combined: dict[str, Any] = {"schema": "repro.bench.pdes/v2"}
+        if args.ab_pdes:
+            from repro.sim.pdes import run_pdes_ab
+
+            report = run_pdes_ab(quick=args.quick, shards=args.shards,
+                                 repeat=args.repeat)
+            print(format_pdes_ab_report(report))
+            combined["pdes_soak"] = report
+        if args.ab_openmx:
+            from repro.sim.openmx_shard import run_openmx_ab
+
+            report = run_openmx_ab(quick=args.quick, shards=args.shards,
+                                   repeat=args.repeat)
+            print(format_openmx_ab_report(report))
+            combined["openmx_shard"] = report
         if args.json:
+            out = combined if args.ab_pdes and args.ab_openmx else report
             with open(args.json, "w") as fh:
-                json.dump(report, fh, indent=2, sort_keys=True)
+                json.dump(out, fh, indent=2, sort_keys=True)
                 fh.write("\n")
             print(f"(report saved to {args.json})")
         return 0
@@ -1057,6 +1199,18 @@ def main(argv: list[str] | None = None) -> int:
         report = run_pdes_soak(quick=args.quick, shards=args.shards,
                                repeat=args.repeat)
         print(format_pdes_soak_report(report))
+        if not scenarios:
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json.dump(report, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"(report saved to {args.json})")
+            return 0
+    if "openmx_shard" in scenarios:
+        scenarios = [s for s in scenarios if s != "openmx_shard"]
+        report = run_openmx_shard(quick=args.quick, shards=args.shards,
+                                  repeat=args.repeat)
+        print(format_openmx_shard_report(report))
         if not scenarios:
             if args.json:
                 with open(args.json, "w") as fh:

@@ -69,7 +69,10 @@ __all__ = [
     "SoakHost",
     "SoakParams",
     "SoakShard",
+    "host_core_count",
     "pdes_sim_state",
+    "resolve_shards",
+    "run_partitioned",
     "run_pdes_ab",
     "run_shards",
     "soak_params",
@@ -273,6 +276,9 @@ class SoakShard:
     def next_time(self) -> int | None:
         return self.env.next_event_time()
 
+    def ingress(self, entries) -> None:
+        self.fabric.ingress(entries)
+
     def run_window(self, until: int):
         """Run one conservative window; return (egress, next_time, busy_s).
 
@@ -307,19 +313,34 @@ class SoakShard:
 
 
 # -- worker plumbing ----------------------------------------------------------
+#
+# The plumbing is *generic*: a shard factory is any picklable callable
+# ``factory(shard_id, plan) -> shard`` returning an object with the
+# SoakShard protocol — ``next_time()``, ``ingress(entries)``,
+# ``run_window(until) -> (egress, next_time, busy_s)``, ``end_state()``,
+# and a ``registry`` attribute.  ``pdes_soak`` and the full-stack
+# ``openmx_shard`` scenario (:mod:`repro.sim.openmx_shard`) both ride on
+# the same coordinator through their factories.
 
 
-def _shard_worker(conn, shard_id: int, plan: ShardPlan,
-                  params: SoakParams) -> None:
+@dataclass(frozen=True)
+class _SoakFactory:
+    params: SoakParams
+
+    def __call__(self, shard_id: int, plan: ShardPlan) -> SoakShard:
+        return SoakShard(shard_id, plan, self.params)
+
+
+def _shard_worker(conn, shard_id: int, plan: ShardPlan, factory) -> None:
     """Forked shard worker: build the shard, then serve window commands."""
     try:
-        shard = SoakShard(shard_id, plan, params)
+        shard = factory(shard_id, plan)
         conn.send(("time", shard.next_time()))
         while True:
             msg = conn.recv()
             if msg[0] == "window":
                 _, end, ingress = msg
-                shard.fabric.ingress(ingress)
+                shard.ingress(ingress)
                 egress, nxt, busy = shard.run_window(end)
                 conn.send(("done", egress, nxt, busy))
             elif msg[0] == "finish":
@@ -339,11 +360,10 @@ def _shard_worker(conn, shard_id: int, plan: ShardPlan,
 class _ForkHandle:
     """Coordinator-side proxy for a forked shard worker."""
 
-    def __init__(self, shard_id: int, plan: ShardPlan, params: SoakParams,
-                 ctx) -> None:
+    def __init__(self, shard_id: int, plan: ShardPlan, factory, ctx) -> None:
         self.conn, child = ctx.Pipe()
         self.proc = ctx.Process(target=_shard_worker,
-                                args=(child, shard_id, plan, params),
+                                args=(child, shard_id, plan, factory),
                                 daemon=True)
         self.proc.start()
         child.close()
@@ -386,16 +406,15 @@ class _InlineHandle:
     the serial baseline (``shards=1``) and for fast property tests — the
     shard code path is identical either way."""
 
-    def __init__(self, shard_id: int, plan: ShardPlan,
-                 params: SoakParams) -> None:
-        self.shard = SoakShard(shard_id, plan, params)
+    def __init__(self, shard_id: int, plan: ShardPlan, factory) -> None:
+        self.shard = factory(shard_id, plan)
         self._reply = None
 
     def initial_next(self):
         return self.shard.next_time()
 
     def start_window(self, end: int, ingress) -> None:
-        self.shard.fabric.ingress(ingress)
+        self.shard.ingress(ingress)
         self._reply = self.shard.run_window(end)
 
     def finish_window(self):
@@ -413,7 +432,14 @@ class _InlineHandle:
 
 
 def _merge_states(states: Sequence[dict]) -> dict:
-    """Fold per-shard end states into one shard-count-independent state."""
+    """Fold per-shard end states into one shard-count-independent state.
+
+    ``now_ns`` must agree (shards barrier on the same window end);
+    ``events`` sum; ``hosts`` concatenate sorted by global id; any other
+    top-level key must be a flat dict of numeric totals (e.g. the fabric
+    counters) and is summed field-wise — which keeps the function generic
+    across scenarios without per-scenario merge code.
+    """
     nows = {st["now_ns"] for st in states}
     if len(nows) != 1:
         raise SimulationError(
@@ -423,34 +449,37 @@ def _merge_states(states: Sequence[dict]) -> dict:
         "events": sum(st["events"] for st in states),
         "hosts": sorted((h for st in states for h in st["hosts"]),
                         key=lambda h: h["id"]),
-        "fabric": {k: sum(st["fabric"][k] for st in states)
-                   for k in states[0]["fabric"]},
     }
+    for key, value in states[0].items():
+        if key in ("now_ns", "events", "hosts"):
+            continue
+        if not isinstance(value, dict):
+            raise SimulationError(
+                f"cannot merge shard-state key {key!r}: expected a dict of "
+                f"numeric totals, got {type(value).__name__}")
+        state[key] = {k: sum(st[key][k] for st in states) for k in value}
     blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
     state["digest"] = hashlib.sha256(blob.encode()).hexdigest()
     return state
 
 
-def run_shards(params: SoakParams, nshards: int, *,
-               lookahead_ns: int | None = None, mode: str | None = None,
-               strategy: str = "block",
-               registry: MetricRegistry | None = None) -> dict:
-    """Run the soak scenario across ``nshards`` conservative PDES shards.
+def run_partitioned(factory, plan: ShardPlan, *, lookahead_ns: int,
+                    mode: str | None = None,
+                    registry: MetricRegistry | None = None) -> dict:
+    """Drive one partitioned scenario through conservative windows.
 
-    ``mode`` is ``"fork"`` (worker processes) or ``"inline"``
-    (all shards driven in this process — same code path, no parallelism);
-    the default forks only when there is more than one shard.  Returns
-    ``{"state": ..., "stats": ...}`` where ``state`` is byte-identical
-    for every ``(nshards, mode, strategy)`` choice and ``stats`` carries
-    the window/barrier accounting.
+    ``factory(shard_id, plan)`` builds one shard (see the worker-plumbing
+    note above for the shard protocol); it must be picklable so forked
+    workers can reconstruct their shard after ``fork()``.  ``mode`` is
+    ``"fork"`` (worker processes) or ``"inline"`` (all shards driven in
+    this process — same code path, no parallelism); the default forks
+    only when there is more than one shard.  Returns ``{"state": ...,
+    "stats": ...}`` where ``state`` is byte-identical for every
+    ``(nshards, mode, partition)`` choice and ``stats`` carries the
+    window/barrier accounting.
     """
-    plan = partition_hosts(params.nhosts, nshards, strategy)
-    if lookahead_ns is None:
-        lookahead_ns = params.latency_ns
-    if not 0 < lookahead_ns <= params.latency_ns:
-        raise ValueError(
-            f"lookahead_ns must be in (0, latency_ns={params.latency_ns}], "
-            f"got {lookahead_ns}")
+    if lookahead_ns <= 0:
+        raise ValueError(f"lookahead_ns must be positive, got {lookahead_ns}")
     if mode is None:
         mode = "fork" if plan.nshards > 1 else "inline"
     if mode not in ("fork", "inline"):
@@ -459,10 +488,10 @@ def run_shards(params: SoakParams, nshards: int, *,
     wall_start = _time.perf_counter()
     if mode == "fork":
         ctx = multiprocessing.get_context("fork")
-        handles = [_ForkHandle(s, plan, params, ctx)
+        handles = [_ForkHandle(s, plan, factory, ctx)
                    for s in range(plan.nshards)]
     else:
-        handles = [_InlineHandle(s, plan, params)
+        handles = [_InlineHandle(s, plan, factory)
                    for s in range(plan.nshards)]
     try:
         next_times = [h.initial_next() for h in handles]
@@ -523,7 +552,7 @@ def run_shards(params: SoakParams, nshards: int, *,
             "pdes_barrier_wait_us",
             "aggregate shard idle time at PDES window barriers",
         ).inc(int(barrier_idle_s * 1e6))
-    # Worker registries carry the per-shard pdes_frames_* and sim_*
+    # Worker registries carry the per-shard pdes_frames_*, omx_* and sim_*
     # series; fold them in shard order so aggregation is deterministic.
     merge_worker_registries(registries, into=registry)
 
@@ -532,7 +561,6 @@ def run_shards(params: SoakParams, nshards: int, *,
         "stats": {
             "shards": plan.nshards,
             "mode": mode,
-            "strategy": strategy,
             "lookahead_ns": lookahead_ns,
             "windows": windows,
             "advance_ns": advance_ns,
@@ -542,6 +570,67 @@ def run_shards(params: SoakParams, nshards: int, *,
             "barrier_idle_s": barrier_idle_s,
         },
     }
+
+
+def run_shards(params: SoakParams, nshards: int, *,
+               lookahead_ns: int | None = None, mode: str | None = None,
+               strategy: str = "block",
+               registry: MetricRegistry | None = None) -> dict:
+    """Run the soak scenario across ``nshards`` conservative PDES shards.
+
+    Thin wrapper over :func:`run_partitioned` with the soak factory and a
+    lookahead derived from (and validated against) the soak fabric
+    latency.
+    """
+    plan = partition_hosts(params.nhosts, nshards, strategy)
+    if lookahead_ns is None:
+        lookahead_ns = params.latency_ns
+    if not 0 < lookahead_ns <= params.latency_ns:
+        raise ValueError(
+            f"lookahead_ns must be in (0, latency_ns={params.latency_ns}], "
+            f"got {lookahead_ns}")
+    out = run_partitioned(_SoakFactory(params), plan,
+                          lookahead_ns=lookahead_ns, mode=mode,
+                          registry=registry)
+    out["stats"]["strategy"] = strategy
+    return out
+
+
+# -- shard-count policy -------------------------------------------------------
+
+
+def host_core_count() -> int:
+    """Cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_shards(spec: int | str, default: int = 4) -> int:
+    """Resolve a ``--shards`` value; ``"auto"`` caps at the core count.
+
+    Forked shards beyond the host's cores only time-share — the wall can
+    even regress vs serial while the critical path still shrinks (the
+    ``core_starved`` flag in A/B reports makes that explicit).  ``auto``
+    picks ``min(default, host_core_count())`` so a laptop CI runner never
+    starts a core-starved fleet by default, while an explicit integer is
+    always honoured.
+    """
+    if isinstance(spec, str):
+        spec = spec.strip().lower()
+        if spec == "auto":
+            return max(1, min(default, host_core_count()))
+        try:
+            value = int(spec)
+        except ValueError:
+            raise ValueError(f"--shards expects an integer or 'auto', "
+                             f"got {spec!r}") from None
+    else:
+        value = spec
+    if value <= 0:
+        raise ValueError(f"shard count must be positive, got {value}")
+    return value
 
 
 # -- canned scenario + A/B harness -------------------------------------------
@@ -607,10 +696,7 @@ def run_pdes_ab(quick: bool = False, shards: int = 4, repeat: int = 3,
         if b["stats"]["wall_s"] < sharded_best:
             sharded_best = b["stats"]["wall_s"]
             best_stats = b["stats"]
-    try:
-        host_cores = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        host_cores = os.cpu_count() or 1
+    host_cores = host_core_count()
     return {
         "schema": "repro.bench.pdes/v1",
         "scenario": "pdes_soak",
@@ -618,6 +704,10 @@ def run_pdes_ab(quick: bool = False, shards: int = 4, repeat: int = 3,
         "shards": shards,
         "repeat": repeat,
         "host_cores": host_cores,
+        # More forked shards than free cores: the sharded *wall* below is
+        # dominated by time-sharing, not by the algorithm — read
+        # critical_path_speedup instead (and consider --shards auto).
+        "core_starved": host_cores < shards,
         "serial_wall_s": serial_best,
         "sharded_wall_s": sharded_best,
         "speedup": serial_best / sharded_best if sharded_best else 0.0,

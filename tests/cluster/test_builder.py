@@ -62,3 +62,59 @@ def test_shared_config_object():
     cluster = build_cluster(config=config)
     assert cluster.config is config
     assert cluster.nodes[0].driver.config is config
+
+
+# -- partition strategies -----------------------------------------------------
+
+def test_partition_block_and_stripe_cover_all_hosts():
+    from repro.cluster.builder import partition_hosts
+
+    for strategy in ("block", "stripe"):
+        plan = partition_hosts(10, 3, strategy)
+        hosts = sorted(h for shard in plan.shards for h in shard)
+        assert hosts == list(range(10))
+        sizes = sorted(len(s) for s in plan.shards)
+        assert sizes[-1] - sizes[0] <= 1  # balanced to within one host
+
+
+def test_partition_affinity_coplaces_heavy_pairs():
+    from repro.cluster.builder import partition_hosts
+
+    # Four hot pairs, traffic otherwise zero: affinity must keep each pair
+    # on one shard (block would split (3, 4) across the boundary).
+    traffic = {(0, 5): 100.0, (5, 0): 50.0, (1, 6): 90.0,
+               (2, 7): 80.0, (3, 4): 70.0}
+    plan = partition_hosts(8, 2, "affinity", traffic=traffic)
+    for a, b in ((0, 5), (1, 6), (2, 7), (3, 4)):
+        assert plan.shard_of(a) == plan.shard_of(b)
+    sizes = sorted(len(s) for s in plan.shards)
+    assert sizes == [4, 4]
+
+
+def test_partition_affinity_is_deterministic_and_total():
+    from repro.cluster.builder import partition_hosts
+
+    traffic = {(i, (i * 3 + 1) % 9): float(i + 1) for i in range(9)}
+    a = partition_hosts(9, 4, "affinity", traffic=traffic)
+    b = partition_hosts(9, 4, "affinity", traffic=dict(reversed(
+        list(traffic.items()))))  # insertion order must not matter
+    assert a == b
+    assert sorted(h for s in a.shards for h in s) == list(range(9))
+    assert all(s for s in a.shards)  # no empty shards
+
+
+def test_partition_affinity_without_traffic_degrades_gracefully():
+    from repro.cluster.builder import partition_hosts
+
+    plan = partition_hosts(6, 2, "affinity")
+    assert sorted(h for s in plan.shards for h in s) == list(range(6))
+    assert [len(s) for s in plan.shards] == [3, 3]
+
+
+def test_partition_rejects_unknown_strategy():
+    import pytest
+
+    from repro.cluster.builder import partition_hosts
+
+    with pytest.raises(ValueError):
+        partition_hosts(4, 2, "round-robin")

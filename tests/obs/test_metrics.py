@@ -279,3 +279,88 @@ def test_engine_gauges_sum_across_merged_environments():
         ambient.merge(worker)
     assert ambient.get("sim_wheel_pending").value == sum(pendings)
     assert ambient.get("sim_events_per_sec").value > 0
+
+
+# -- histogram merge across shard workers -------------------------------------
+
+def _observe_all(reg, samples, capacity=0):
+    hist = reg.histogram("omx_pin_wait_ns", labelnames=("host",),
+                         sample_capacity=capacity)
+    for host, value in samples:
+        hist.labels(host=host).observe(value)
+    return hist
+
+
+def test_histogram_merge_matches_single_registry_concatenation():
+    """The PDES coordinator folds per-shard registries with merge(); the
+    result must be indistinguishable from one registry observing every
+    shard's samples directly: counts and sums add, buckets add, and
+    p50/p95/p99 agree exactly."""
+    per_shard = [
+        [("host0", 120), ("host0", 3_400), ("host1", 87_000)],
+        [("host2", 512), ("host2", 512), ("host3", 9)],
+        [("host4", 1_000_000), ("host0", 64)],
+    ]
+    merged = MetricRegistry()
+    for samples in per_shard:
+        worker = MetricRegistry()
+        _observe_all(worker, samples, capacity=64)
+        merged.merge(worker)
+    reference = MetricRegistry()
+    combined = [s for samples in per_shard for s in samples]
+    _observe_all(reference, combined, capacity=64)
+
+    got, want = merged.get("omx_pin_wait_ns"), reference.get("omx_pin_wait_ns")
+    assert got.count == want.count == len(combined)
+    for labels, ref_child in want.children():
+        child = got.labels(**labels)
+        assert child.count == ref_child.count
+        assert child.sum == ref_child.sum
+        assert child.buckets == ref_child.buckets
+        for p in (50, 95, 99):
+            assert child.percentile(p) == ref_child.percentile(p)
+
+
+def test_histogram_merge_without_raw_samples_still_adds_buckets():
+    """Bucket-only histograms (sample_capacity=0) merge bucket-wise and the
+    interpolated percentiles match the single-registry estimate."""
+    a, b = MetricRegistry(), MetricRegistry()
+    _observe_all(a, [("host0", v) for v in (10, 100, 1_000)])
+    _observe_all(b, [("host0", v) for v in (20, 200, 2_000, 20_000)])
+    a.merge(b)
+    ref = MetricRegistry()
+    _observe_all(ref, [("host0", v)
+                       for v in (10, 100, 1_000, 20, 200, 2_000, 20_000)])
+    child = a.get("omx_pin_wait_ns").labels(host="host0")
+    want = ref.get("omx_pin_wait_ns").labels(host="host0")
+    assert child.count == want.count == 7
+    assert child.sum == want.sum
+    assert child.buckets == want.buckets
+    assert child.min == want.min and child.max == want.max
+    for p in (50, 95, 99):
+        assert child.percentile(p) == want.percentile(p)
+
+
+def test_histogram_merge_is_order_independent_across_shards():
+    """Folding shard registries in any order yields identical snapshots —
+    the coordinator's deterministic-merge contract."""
+    shard_samples = [[("host0", 5), ("host1", 50)],
+                     [("host0", 500)],
+                     [("host1", 5_000), ("host1", 7)]]
+    registries = []
+    for order in ([0, 1, 2], [2, 0, 1]):
+        merged = MetricRegistry()
+        for i in order:
+            worker = MetricRegistry()
+            _observe_all(worker, shard_samples[i], capacity=16)
+            merged.merge(worker)
+        registries.append(merged)
+
+    def by_label(reg):
+        # Child listing order tracks insertion; the values must not.
+        return {tuple(labels.items()):
+                (c.count, c.sum, dict(c.buckets),
+                 c.percentile(50), c.percentile(95), c.percentile(99))
+                for labels, c in reg.get("omx_pin_wait_ns").children()}
+
+    assert by_label(registries[0]) == by_label(registries[1])

@@ -204,3 +204,54 @@ def test_endpoint_close_unregisters_notifier():
     s.ep.close()
     assert len(sp.aspace.notifiers) == 0
     assert 0 not in cluster.nodes[0].driver.endpoints
+
+
+def test_region_lease_blocks_idleness_until_released():
+    """A region handed out by the cache but not yet submitted (no
+    comm_started yet) must not look idle — the LRU would evict it in the
+    suspension gap between ``cache.get`` and ``submit_*_large``."""
+    cluster, s, r, sp, rp = pair(PinningMode.OVERLAP_CACHE)
+    env = cluster.env
+
+    def body():
+        va = sp.malloc(1 * MIB)
+
+        class FakeReq:
+            region_id = None
+            segments = None
+            _cached_region = False
+
+        ctx = sp.user_context()
+        rid = yield from s._get_region(ctx, va, 1 * MIB, FakeReq())
+        # Leased on handout: busy even though active_comms == 0.
+        assert s.ep.regions[rid].active_comms == 0
+        assert not s._region_is_idle(rid)
+        # Leases nest (windowed senders can hand the same region out twice).
+        s._lease_region(rid)
+        s._unlease_region(rid)
+        assert not s._region_is_idle(rid)
+        s._unlease_region(rid)
+        assert s._region_is_idle(rid)
+        return True
+
+    assert env.run(until=env.process(body()))
+
+
+def test_region_leases_drain_after_large_transfers():
+    cluster, s, r, sp, rp = pair(PinningMode.OVERLAP_CACHE)
+    size = 1 * MIB
+    sbuf, rbuf = sp.malloc(size), rp.malloc(size)
+    sp.write(sbuf, b"\xab" * size)
+
+    def sender():
+        req = yield from s.isend(sbuf, size, r.board, r.endpoint_id, 9)
+        yield from s.wait(req)
+
+    def receiver():
+        req = yield from r.irecv(rbuf, size, 9)
+        yield from r.wait(req)
+
+    run_both(cluster, sender(), receiver())
+    assert rp.read(rbuf, size) == b"\xab" * size
+    assert s._region_leases == {}
+    assert r._region_leases == {}

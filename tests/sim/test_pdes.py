@@ -253,12 +253,12 @@ def test_worker_errors_propagate_with_traceback():
     # Sabotage: run a fork worker against a plan whose params raise in the
     # child (latency mutated to even is caught at SoakParams construction,
     # so instead drive the protocol by hand with a broken ingress).
-    from repro.sim.pdes import _ForkHandle
+    from repro.sim.pdes import _ForkHandle, _SoakFactory
     import multiprocessing
 
     plan = partition_hosts(4, 2)
     ctx = multiprocessing.get_context("fork")
-    handle = _ForkHandle(0, plan, bad, ctx)
+    handle = _ForkHandle(0, plan, _SoakFactory(bad), ctx)
     try:
         assert handle.initial_next() == 0
         frame = ShardFrame(src=2, dst=0, seq=1, copy=0, kind="req",
